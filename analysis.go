@@ -1,0 +1,78 @@
+package torusmesh
+
+import (
+	"fmt"
+	"math/big"
+
+	"torusmesh/internal/baseline"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/optimal"
+)
+
+// MinDilation computes the exact minimum dilation over all embeddings of
+// g in h by branch-and-bound. Factorial cost: maxNodes (suggested <= 16)
+// guards against accidental large runs.
+func MinDilation(g, h Spec, maxNodes int) (int, error) {
+	return optimal.MinDilation(g, h, maxNodes)
+}
+
+// DilationLowerBound returns the best computable lower bound on the
+// dilation of any embedding of g in h: the maximum of the ball-counting
+// bound behind Theorem 47 and the degree bound.
+func DilationLowerBound(g, h Spec) int {
+	ball := optimal.LowerBoundBall(g, h)
+	if deg := optimal.LowerBoundDegree(g, h); deg > ball {
+		return deg
+	}
+	return ball
+}
+
+// RowMajorEmbedding returns the naive identity-by-index embedding of g
+// in h, the baseline the paper's reflected sequences improve on.
+func RowMajorEmbedding(g, h Spec) (*Embedding, error) { return baseline.RowMajor(g, h) }
+
+// FitzgeraldMeshLine returns the known optimal dilation of embedding a
+// square d-dimensional mesh of side l in a line, for d = 2 (l) and d = 3
+// (⌊3l²/4 + l/2⌋) [Fit74]. ok is false for other d.
+func FitzgeraldMeshLine(d, l int) (cost int, ok bool) {
+	switch d {
+	case 2:
+		return baseline.Fitzgerald2D(l), true
+	case 3:
+		return baseline.Fitzgerald3D(l), true
+	default:
+		return 0, false
+	}
+}
+
+// HarperHypercubeLine returns the known optimal dilation of embedding a
+// hypercube of size 2^d in a line: Σ_{k=0}^{d-1} C(k, ⌊k/2⌋) [Har66].
+func HarperHypercubeLine(d int) int { return baseline.HarperHypercubeLine(d) }
+
+// Epsilon returns the appendix quantity ε_m with
+// Harper(d) = ε_{d-1}·2^{d-1}: exactly 1 for m <= 2 and strictly
+// decreasing afterwards.
+func Epsilon(m int) *big.Rat { return baseline.Epsilon(m) }
+
+// OptimalEmbedding returns a provably minimum-dilation embedding found
+// by exhaustive branch-and-bound. Factorial cost; maxNodes (suggested
+// <= 16) guards against large instances.
+func OptimalEmbedding(g, h Spec, maxNodes int) (*Embedding, error) {
+	d, table, err := optimal.MinDilationWitness(g, h, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if table == nil {
+		return nil, fmt.Errorf("torusmesh: no assignment found for %s -> %s", g, h)
+	}
+	return embed.FromTable(g, h, "optimal/branch-and-bound", d, table)
+}
+
+// ExportEmbedding serializes an embedding (specs, strategy, table and
+// measured dilation) as JSON, so placements can be stored and shipped to
+// runtime systems without this library.
+func ExportEmbedding(e *Embedding) ([]byte, error) { return embed.Export(e) }
+
+// ImportEmbedding reconstructs and verifies an embedding exported by
+// ExportEmbedding.
+func ImportEmbedding(data []byte) (*Embedding, error) { return embed.Import(data) }

@@ -1,0 +1,124 @@
+package torusmesh_test
+
+import (
+	"strings"
+	"testing"
+
+	"torusmesh"
+)
+
+func TestManyToOneAPI(t *testing.T) {
+	sim, err := torusmesh.SimulateManyToOne(torusmesh.Torus(16, 16), torusmesh.Torus(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Load != 4 {
+		t.Errorf("load = %d, want 4", sim.Load)
+	}
+	if err := sim.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sim.Dilation(); d != 1 {
+		t.Errorf("dilation = %d, want 1", d)
+	}
+	bc, err := torusmesh.BlockContraction(torusmesh.Mesh(8, 6), torusmesh.Mesh(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Load != 4 || bc.Dilation() != 1 {
+		t.Errorf("block contraction load %d dilation %d", bc.Load, bc.Dilation())
+	}
+	if _, err := torusmesh.SimulateManyToOne(torusmesh.Mesh(5, 5), torusmesh.Mesh(2, 6)); err == nil {
+		t.Error("non-multiple sizes accepted")
+	}
+}
+
+func TestOptimalEmbeddingAPI(t *testing.T) {
+	e, err := torusmesh.OptimalEmbedding(torusmesh.Ring(9), torusmesh.Mesh(3, 3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 2 {
+		t.Errorf("optimal embedding dilation = %d, want 2", d)
+	}
+	if _, err := torusmesh.OptimalEmbedding(torusmesh.Ring(100), torusmesh.Mesh(10, 10), 16); err == nil {
+		t.Error("node limit not enforced")
+	}
+}
+
+func TestExportImportAPI(t *testing.T) {
+	e := torusmesh.MustEmbed(torusmesh.Ring(24), torusmesh.Mesh(4, 2, 3))
+	data, err := torusmesh.ExportEmbedding(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := torusmesh.ImportEmbedding(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dilation() != e.Dilation() {
+		t.Errorf("round trip changed dilation: %d vs %d", back.Dilation(), e.Dilation())
+	}
+}
+
+func TestCongestionAPI(t *testing.T) {
+	machine := torusmesh.Torus(4, 4)
+	nw := torusmesh.NewNetwork(machine)
+	tg := torusmesh.RingPipeline(16)
+	p := torusmesh.PlacementFromEmbedding(torusmesh.MustEmbed(torusmesh.Ring(16), machine))
+	c, err := torusmesh.Congestion(nw, tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit-dilation ring placement: 32 directed routes of one hop each,
+	// all distinct links.
+	if c.MaxLink != 1 || c.TotalHops != 32 || c.UsedLinks != 32 {
+		t.Errorf("congestion = %+v, want max 1, total 32, links 32", c)
+	}
+	if _, err := torusmesh.Congestion(nw, tg, torusmesh.Placement{0}); err == nil {
+		t.Error("bad placement accepted")
+	}
+}
+
+func TestRenderAPI(t *testing.T) {
+	e := torusmesh.MustEmbed(torusmesh.Line(6), torusmesh.Mesh(2, 3))
+	out := torusmesh.RenderEmbedding(e)
+	if !strings.Contains(out, "0") || !strings.Contains(out, "5") {
+		t.Errorf("render missing labels:\n%s", out)
+	}
+	circuit, err := torusmesh.HamiltonianCircuit(torusmesh.Torus(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := torusmesh.RenderCircuit(torusmesh.Torus(3, 3), circuit)
+	if len(strings.Fields(out2)) != 9 {
+		t.Errorf("circuit render has %d cells:\n%s", len(strings.Fields(out2)), out2)
+	}
+	out3 := torusmesh.RenderGrid(torusmesh.Shape{2, 2}, func(n torusmesh.Node) string { return "x" })
+	if strings.Count(out3, "x") != 4 {
+		t.Errorf("grid render wrong:\n%s", out3)
+	}
+}
+
+func TestHamiltonianPathRender(t *testing.T) {
+	sp := torusmesh.Mesh(3, 3)
+	path := torusmesh.HamiltonianPath(sp)
+	out := torusmesh.RenderCircuit(sp, path)
+	// The f_L path snakes through the mesh: position 0 at (0,0) (bottom
+	// left in the drawing) and position 8 at (2,0) (top left).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render:\n%s", out)
+	}
+	if strings.Fields(lines[2])[0] != "0" {
+		t.Errorf("bottom-left should be position 0:\n%s", out)
+	}
+	// Row 2 of the mesh holds positions 6,7,8 left to right (the third
+	// segment of the snake is unreflected: ⌊6/3⌋ = 2 is even).
+	if strings.Fields(lines[0])[0] != "6" {
+		t.Errorf("top-left should be position 6:\n%s", out)
+	}
+}

@@ -1,0 +1,179 @@
+package torusmesh_test
+
+import (
+	"testing"
+
+	"torusmesh"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := torusmesh.Ring(24)
+	h := torusmesh.Mesh(4, 2, 3)
+	e, err := torusmesh.Embed(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 1 {
+		t.Errorf("dilation = %d, want 1", d)
+	}
+	img := e.Map(torusmesh.Node{7})
+	if len(img) != 3 {
+		t.Errorf("image %v has wrong dimension", img)
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	if torusmesh.Hypercube(4).Size() != 16 {
+		t.Error("Hypercube size wrong")
+	}
+	if torusmesh.SquareTorus(3, 5).Size() != 125 {
+		t.Error("SquareTorus size wrong")
+	}
+	if torusmesh.SquareMesh(2, 4).String() != "mesh(4x4)" {
+		t.Error("SquareMesh string wrong")
+	}
+	sp, err := torusmesh.ParseSpec("torus:3x3")
+	if err != nil || sp.Kind != torusmesh.KindTorus {
+		t.Errorf("ParseSpec: %v %v", sp, err)
+	}
+	if _, err := torusmesh.ParseSpec("nope"); err == nil {
+		t.Error("bad spec accepted")
+	}
+	shape, err := torusmesh.ParseShape("4x2x3")
+	if err != nil || shape.Size() != 24 {
+		t.Errorf("ParseShape: %v %v", shape, err)
+	}
+}
+
+func TestMustEmbedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEmbed did not panic on size mismatch")
+		}
+	}()
+	torusmesh.MustEmbed(torusmesh.Ring(5), torusmesh.Line(6))
+}
+
+func TestSequencesAPI(t *testing.T) {
+	L := torusmesh.Shape{4, 2, 3}
+	n := L.Size()
+	seen := map[string]bool{}
+	for x := 0; x < n; x++ {
+		v := torusmesh.GrayF(L, x)
+		if torusmesh.GrayFInv(L, v) != x {
+			t.Fatalf("GrayFInv broken at %d", x)
+		}
+		seen[v.String()] = true
+		g := torusmesh.GrayG(L, x)
+		if torusmesh.GrayGInv(L, g) != x {
+			t.Fatalf("GrayGInv broken at %d", x)
+		}
+		h := torusmesh.GrayH(L, x)
+		if torusmesh.GrayHInv(L, h) != x {
+			t.Fatalf("GrayHInv broken at %d", x)
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("GrayF visited %d distinct nodes, want %d", len(seen), n)
+	}
+	if torusmesh.CyclicT(6, 1) != 2 || torusmesh.CyclicTInv(6, 2) != 1 {
+		t.Error("CyclicT wrong")
+	}
+	if got := len(torusmesh.GraySequence(L)); got != n {
+		t.Errorf("GraySequence length %d", got)
+	}
+}
+
+func TestHamiltonianAPI(t *testing.T) {
+	sp := torusmesh.Torus(3, 5)
+	circuit, err := torusmesh.HamiltonianCircuit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := torusmesh.VerifyHamiltonianCircuit(sp, circuit); err != nil {
+		t.Fatal(err)
+	}
+	if !torusmesh.HasHamiltonianCircuit(sp) {
+		t.Error("torus misclassified")
+	}
+	odd := torusmesh.Mesh(3, 5)
+	if torusmesh.HasHamiltonianCircuit(odd) {
+		t.Error("odd mesh misclassified")
+	}
+	if _, err := torusmesh.HamiltonianCircuit(odd); err == nil {
+		t.Error("odd mesh circuit built")
+	}
+	path := torusmesh.HamiltonianPath(odd)
+	if err := torusmesh.VerifyHamiltonianPath(odd, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalysisAPI(t *testing.T) {
+	opt, err := torusmesh.MinDilation(torusmesh.Ring(9), torusmesh.Mesh(3, 3), 16)
+	if err != nil || opt != 2 {
+		t.Errorf("MinDilation = %d, %v; want 2", opt, err)
+	}
+	if lb := torusmesh.DilationLowerBound(torusmesh.SquareMesh(2, 4), torusmesh.Line(16)); lb < 2 {
+		t.Errorf("lower bound = %d, want >= 2", lb)
+	}
+	if c, ok := torusmesh.FitzgeraldMeshLine(3, 4); !ok || c != 14 {
+		t.Errorf("Fitzgerald 3D = %d, %v", c, ok)
+	}
+	if _, ok := torusmesh.FitzgeraldMeshLine(4, 4); ok {
+		t.Error("Fitzgerald accepted d=4")
+	}
+	if torusmesh.HarperHypercubeLine(4) != 7 {
+		t.Error("Harper wrong")
+	}
+	if torusmesh.Epsilon(3).String() != "7/8" {
+		t.Errorf("Epsilon(3) = %s", torusmesh.Epsilon(3))
+	}
+	rm, err := torusmesh.RowMajorEmbedding(torusmesh.Ring(24), torusmesh.Mesh(4, 2, 3))
+	if err != nil || rm.Verify() != nil {
+		t.Errorf("RowMajorEmbedding: %v", err)
+	}
+	if p, err := torusmesh.PredictedDilation(torusmesh.Ring(9), torusmesh.Mesh(3, 3)); err != nil || p != 2 {
+		t.Errorf("PredictedDilation = %d, %v", p, err)
+	}
+	a, b := torusmesh.Node{0, 0, 1}, torusmesh.Node{3, 0, 0}
+	if torusmesh.Distance(torusmesh.Torus(4, 2, 3), a, b) != 2 {
+		t.Error("torus distance wrong")
+	}
+	if torusmesh.Distance(torusmesh.Mesh(4, 2, 3), a, b) != 4 {
+		t.Error("mesh distance wrong")
+	}
+}
+
+func TestSimAPI(t *testing.T) {
+	machine := torusmesh.Torus(4, 6)
+	nw := torusmesh.NewNetwork(machine)
+	tg := torusmesh.RingPipeline(24)
+	e := torusmesh.MustEmbed(torusmesh.Ring(24), machine)
+	ours, err := torusmesh.Simulate(nw, tg, torusmesh.PlacementFromEmbedding(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := torusmesh.Simulate(nw, tg, torusmesh.IdentityPlacement(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.MaxHops != 1 {
+		t.Errorf("embedding placement max hops = %d, want 1", ours.MaxHops)
+	}
+	if naive.Cycles < ours.Cycles {
+		t.Errorf("naive %d cycles beat embedding %d", naive.Cycles, ours.Cycles)
+	}
+	for _, tg := range []*torusmesh.TaskGraph{
+		torusmesh.Pipeline(5), torusmesh.Stencil2D(2, 3), torusmesh.Stencil3D(2, 2, 2),
+		torusmesh.HaloExchange2D(3, 3), torusmesh.HypercubeExchange(3),
+		torusmesh.TaskGraphFromSpec(torusmesh.Mesh(2, 2)),
+	} {
+		if err := tg.Validate(); err != nil {
+			t.Errorf("%s: %v", tg.Name, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command embedtool constructs an embedding between two toruses/meshes
+// and reports its strategy, guarantee and measured dilation. With -table
+// it prints the full node map.
+//
+// Usage:
+//
+//	embedtool -from ring:24 -to mesh:4x2x3 [-table] [-verify]
+//	embedtool -from torus:8x8 -to mesh:2x2x2x2x2x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"torusmesh"
+)
+
+func main() {
+	from := flag.String("from", "", "guest spec, e.g. ring:24, torus:4x2x3, mesh:6x9")
+	to := flag.String("to", "", "host spec, e.g. mesh:4x2x3")
+	showTable := flag.Bool("table", false, "print the full node map")
+	draw := flag.Bool("draw", false, "draw the host labelled by guest indices (Figure 10 style)")
+	jsonOut := flag.String("json", "", "write the embedding as JSON to this file ('-' for stdout)")
+	verify := flag.Bool("verify", true, "verify injectivity and the dilation guarantee")
+	flag.Parse()
+	if *from == "" || *to == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*from, *to, *showTable, *draw, *verify, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "embedtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fromStr, toStr string, showTable, draw, verify bool, jsonOut string) error {
+	g, err := torusmesh.ParseSpec(fromStr)
+	if err != nil {
+		return err
+	}
+	h, err := torusmesh.ParseSpec(toStr)
+	if err != nil {
+		return err
+	}
+	e, err := torusmesh.Embed(g, h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("guest:      %s (%d nodes)\n", g, g.Size())
+	fmt.Printf("host:       %s (%d nodes)\n", h, h.Size())
+	fmt.Printf("strategy:   %s\n", e.Strategy)
+	fmt.Printf("guarantee:  dilation <= %d\n", e.Predicted)
+	if verify {
+		if err := e.Verify(); err != nil {
+			return err
+		}
+		d, err := e.CheckPredicted()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measured:   dilation = %d (average %.3f)\n", d, e.AverageDilation())
+		fmt.Printf("lower bound: %d\n", torusmesh.DilationLowerBound(g, h))
+	}
+	if showTable {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "guest node\thost node")
+		for x := 0; x < g.Size(); x++ {
+			node := g.Shape.NodeAt(x)
+			fmt.Fprintf(tw, "%s\t%s\n", node, e.Map(node))
+		}
+		tw.Flush()
+	}
+	if draw {
+		fmt.Println("host layout (cells are guest row-major indices):")
+		fmt.Print(torusmesh.RenderEmbedding(e))
+	}
+	if jsonOut != "" {
+		data, err := torusmesh.ExportEmbedding(e)
+		if err != nil {
+			return err
+		}
+		if jsonOut == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

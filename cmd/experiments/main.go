@@ -1,0 +1,46 @@
+// Command experiments regenerates every figure and quantitative claim of
+// Ma & Tao's "Embeddings Among Toruses and Meshes" as text tables. Run
+// without arguments for the full suite, or pass experiment ids (E01..E21)
+// to run a subset. The experiment index is documented in DESIGN.md and
+// the recorded outputs in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torusmesh/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and titles")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		e, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,78 @@
+// Command hamtool constructs and verifies Hamiltonian circuits and paths
+// of toruses and meshes, implementing Corollaries 18, 25 and 29 of
+// Ma & Tao.
+//
+// Usage:
+//
+//	hamtool -spec torus:4x2x3            # circuit (always exists)
+//	hamtool -spec mesh:3x4               # circuit (even size)
+//	hamtool -spec mesh:3x3               # reports non-existence
+//	hamtool -spec mesh:3x3 -path         # Hamiltonian path instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torusmesh"
+)
+
+func main() {
+	specStr := flag.String("spec", "", "graph spec, e.g. torus:4x2x3 or mesh:3x4")
+	path := flag.Bool("path", false, "construct a Hamiltonian path instead of a circuit")
+	quiet := flag.Bool("quiet", false, "suppress the node sequence, print only the verdict")
+	flag.Parse()
+	if *specStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sp, err := torusmesh.ParseSpec(*specStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hamtool:", err)
+		os.Exit(1)
+	}
+	if *path {
+		seq := torusmesh.HamiltonianPath(sp)
+		if err := torusmesh.VerifyHamiltonianPath(sp, seq); err != nil {
+			fmt.Fprintln(os.Stderr, "hamtool: internal error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: Hamiltonian path with %d nodes (f_L, Theorem 13)\n", sp, len(seq))
+		if !*quiet {
+			printSeq(seq)
+		}
+		return
+	}
+	if !torusmesh.HasHamiltonianCircuit(sp) {
+		fmt.Printf("%s: no Hamiltonian circuit exists", sp)
+		if sp.Kind == torusmesh.KindMesh && sp.Size()%2 == 1 {
+			fmt.Print(" (odd-size mesh, Corollary 18)")
+		}
+		fmt.Println()
+		return
+	}
+	seq, err := torusmesh.HamiltonianCircuit(sp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hamtool:", err)
+		os.Exit(1)
+	}
+	if err := torusmesh.VerifyHamiltonianCircuit(sp, seq); err != nil {
+		fmt.Fprintln(os.Stderr, "hamtool: internal error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: Hamiltonian circuit with %d nodes (h_L, Corollaries 25/29)\n", sp, len(seq))
+	if !*quiet {
+		printSeq(seq)
+	}
+}
+
+func printSeq(seq []torusmesh.Node) {
+	for i, node := range seq {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(node)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,80 @@
+// Command netsimtool places a task graph on a simulated torus/mesh
+// machine and compares the paper's embedding against the naive row-major
+// placement, reporting communication-phase latency, hop counts and link
+// congestion.
+//
+// Usage:
+//
+//	netsimtool -task ring:64 -machine torus:8x8
+//	netsimtool -task mesh:8x8 -machine torus:2x2x2x2x2x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"torusmesh"
+)
+
+func main() {
+	taskStr := flag.String("task", "", "task-graph topology spec, e.g. ring:64 or mesh:8x8")
+	machineStr := flag.String("machine", "", "machine spec, e.g. torus:8x8")
+	flag.Parse()
+	if *taskStr == "" || *machineStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*taskStr, *machineStr); err != nil {
+		fmt.Fprintln(os.Stderr, "netsimtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(taskStr, machineStr string) error {
+	guest, err := torusmesh.ParseSpec(taskStr)
+	if err != nil {
+		return err
+	}
+	machine, err := torusmesh.ParseSpec(machineStr)
+	if err != nil {
+		return err
+	}
+	tg := torusmesh.TaskGraphFromSpec(guest)
+	nw := torusmesh.NewNetwork(machine)
+
+	e, err := torusmesh.Embed(guest, machine)
+	if err != nil {
+		return err
+	}
+	rm, err := torusmesh.RowMajorEmbedding(guest, machine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task graph: %s (%d tasks, %d edges)\n", tg.Name, tg.N, len(tg.Edges))
+	fmt.Printf("machine:    %s\n", machine)
+	fmt.Printf("embedding:  %s (guarantee %d)\n\n", e.Strategy, e.Predicted)
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "placement\tdilation\tavg hops\tcycles\tpeak link load\ttotal hops\tused links")
+	for _, pl := range []struct {
+		label string
+		p     torusmesh.Placement
+	}{
+		{"paper embedding", torusmesh.PlacementFromEmbedding(e)},
+		{"row-major baseline", torusmesh.PlacementFromEmbedding(rm)},
+	} {
+		r, err := torusmesh.Simulate(nw, tg, pl.p)
+		if err != nil {
+			return err
+		}
+		c, err := torusmesh.Congestion(nw, tg, pl.p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%d\t%d\t%d\t%d\n",
+			pl.label, r.MaxHops, r.AvgHops, r.Cycles, r.MaxLinkLoad, c.TotalHops, c.UsedLinks)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,70 @@
+// Command sweep runs the coverage census: for a given size it attempts
+// to embed every ordered pair of canonical torus/mesh shapes of that
+// size (in both kind combinations), verifies each result, and tallies
+// which construction carried each pair.
+//
+// Usage:
+//
+//	sweep -n 24
+//	sweep -n 360 -maxdim 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/core"
+	"torusmesh/internal/grid"
+)
+
+func main() {
+	n := flag.Int("n", 24, "graph size (number of nodes)")
+	maxDim := flag.Int("maxdim", 0, "cap on shape dimension (0 = unlimited)")
+	showShapes := flag.Bool("shapes", false, "list the canonical shapes first")
+	flag.Parse()
+	if *n < 2 {
+		fmt.Fprintln(os.Stderr, "sweep: -n must be at least 2")
+		os.Exit(2)
+	}
+	if *showShapes {
+		for _, s := range catalog.CanonicalShapesOfSize(*n, *maxDim) {
+			fmt.Println(s)
+		}
+		fmt.Println()
+	}
+	failures := 0
+	census := catalog.Coverage(*n, *maxDim, func(g, h grid.Spec) (string, error) {
+		e, err := core.Embed(g, h)
+		if err != nil {
+			failures++
+			return "", err
+		}
+		if verr := e.Verify(); verr != nil {
+			return "", fmt.Errorf("%s -> %s failed verification: %v", g, h, verr)
+		}
+		if _, perr := e.CheckPredicted(); perr != nil {
+			return "", fmt.Errorf("%s -> %s broke its guarantee: %v", g, h, perr)
+		}
+		return e.Strategy, nil
+	})
+	fmt.Printf("size %d: %d canonical shapes, %d ordered (shape,kind) pairs\n",
+		census.Size, census.Shapes, census.Pairs)
+	fmt.Printf("embeddable: %d (%.1f%%), unembeddable: %d\n\n",
+		census.Embeddable, 100*float64(census.Embeddable)/float64(census.Pairs),
+		census.Pairs-census.Embeddable)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tpairs")
+	keys := make([]string, 0, len(census.ByStrategy))
+	for k := range census.ByStrategy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(tw, "%s\t%d\n", k, census.ByStrategy[k])
+	}
+	tw.Flush()
+}

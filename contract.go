@@ -1,0 +1,26 @@
+package torusmesh
+
+import "torusmesh/internal/contract"
+
+// ManyToOne is a many-to-one simulation of a larger guest on a smaller
+// host: each host node simulates exactly Load guest nodes. This is the
+// relaxation of embeddings the paper contrasts with Kosaraju & Atallah's
+// mesh simulations.
+type ManyToOne = contract.Simulation
+
+// SimulateManyToOne builds a constant-load simulation of guest on host.
+// The guest's size must be a multiple of the host's; equal sizes fall
+// back to a plain embedding with load 1. The construction contracts
+// blocks of the guest onto an intermediate graph of the host's size,
+// then embeds that intermediate with the paper's constructions, so the
+// dilation is the embedding's dilation and the load is the size ratio.
+func SimulateManyToOne(guest, host Spec) (*ManyToOne, error) {
+	return contract.Simulate(guest, host)
+}
+
+// BlockContraction builds the direct dilation-1, load-(size ratio)
+// contraction when the host shape divides the guest shape
+// component-wise (equal dimensions).
+func BlockContraction(guest, host Spec) (*ManyToOne, error) {
+	return contract.BlockContraction(guest, host)
+}

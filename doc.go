@@ -1,0 +1,40 @@
+// Package torusmesh implements the embedding constructions of Eva Ma and
+// Lixin Tao, "Embeddings Among Toruses and Meshes" (ICPP 1987; UPenn TR
+// MS-CIS-88-63): minimum-dilation injections between d-dimensional
+// toruses and meshes of equal size, built from a generalization of Gray
+// codes to mixed-radix numbering systems.
+//
+// # Quick start
+//
+//	g := torusmesh.Ring(24)            // a 24-node ring task graph
+//	h := torusmesh.Mesh(4, 2, 3)       // a 4x2x3 mesh machine
+//	e, err := torusmesh.Embed(g, h)    // dilation-1 embedding (Theorem 24)
+//	if err != nil { ... }
+//	fmt.Println(e.Dilation())          // 1
+//	fmt.Println(e.Map(torusmesh.Node{7})) // host coordinates of ring node 7
+//
+// # What you get
+//
+//   - Embed: the universal dispatcher covering every case the paper
+//     solves — basic embeddings of lines and rings (Section 3),
+//     expansion embeddings for increasing dimension (Section 4.1),
+//     simple and general reductions for lowering dimension (Section
+//     4.2), and the always-applicable constructions for square graphs
+//     (Section 5). Each returned Embedding carries the paper's dilation
+//     guarantee in Predicted and measures its true cost with Dilation.
+//   - Gray-code sequences: F, G, H, R, TN — the mixed-radix sequences of
+//     Definitions 9, 14, 15, 20 and 22, with inverses.
+//   - Hamiltonian circuits and paths of toruses and meshes (Corollaries
+//     18, 25, 29).
+//   - Ground truth: exact minimum dilation by branch-and-bound for tiny
+//     instances, ball-counting and degree lower bounds (Theorem 47), and
+//     the literature baselines the paper compares against (Fitzgerald,
+//     Ma & Narahari, Harper).
+//   - A miniature interconnection-network simulator demonstrating that
+//     dilation drives communication latency when task graphs are placed
+//     on torus/mesh machines — the paper's motivating application.
+//
+// All public entry points are thin veneers over the internal packages;
+// see DESIGN.md for the module map and EXPERIMENTS.md for the
+// reproduction of every figure and claim in the paper.
+package torusmesh

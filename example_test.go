@@ -1,0 +1,73 @@
+package torusmesh_test
+
+import (
+	"fmt"
+
+	"torusmesh"
+)
+
+// The basic workflow: build two specs, embed, inspect cost and map.
+func ExampleEmbed() {
+	ring := torusmesh.Ring(24)
+	mesh := torusmesh.Mesh(4, 2, 3)
+	e, err := torusmesh.Embed(ring, mesh)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dilation:", e.Dilation())
+	fmt.Println("node 0 ->", e.Map(torusmesh.Node{0}))
+	// Output:
+	// dilation: 1
+	// node 0 -> (3,0,0)
+}
+
+// f_L generalizes the binary reflected Gray code to mixed radices.
+func ExampleGrayF() {
+	L := torusmesh.Shape{2, 3}
+	for x := 0; x < 6; x++ {
+		fmt.Println(torusmesh.GrayF(L, x))
+	}
+	// Output:
+	// (0,0)
+	// (0,1)
+	// (0,2)
+	// (1,2)
+	// (1,1)
+	// (1,0)
+}
+
+// Every torus has a Hamiltonian circuit (Corollary 29); odd meshes have
+// none (Corollary 18).
+func ExampleHasHamiltonianCircuit() {
+	fmt.Println(torusmesh.HasHamiltonianCircuit(torusmesh.Torus(3, 3)))
+	fmt.Println(torusmesh.HasHamiltonianCircuit(torusmesh.Mesh(3, 3)))
+	fmt.Println(torusmesh.HasHamiltonianCircuit(torusmesh.Mesh(3, 4)))
+	// Output:
+	// true
+	// false
+	// true
+}
+
+// Dilation lower bounds certify optimality claims.
+func ExampleMinDilation() {
+	opt, err := torusmesh.MinDilation(torusmesh.Ring(9), torusmesh.Mesh(3, 3), 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal:", opt)
+	// Output:
+	// optimal: 2
+}
+
+// A many-to-one simulation hosts a larger guest at constant load.
+func ExampleSimulateManyToOne() {
+	sim, err := torusmesh.SimulateManyToOne(torusmesh.Mesh(8, 6), torusmesh.Mesh(4, 3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("load:", sim.Load)
+	fmt.Println("dilation:", sim.Dilation())
+	// Output:
+	// load: 4
+	// dilation: 1
+}

@@ -1,0 +1,60 @@
+// Hypercube example: the Chan & Saad scenario the paper generalizes.
+// Multigrid solvers walk a hierarchy of 2D grids; embedding every grid of
+// the hierarchy into the same hypercube with unit dilation keeps all
+// neighbor communication between directly-wired processors. Corollary 34
+// guarantees unit dilation for every power-of-two mesh or torus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torusmesh"
+)
+
+func main() {
+	const dim = 6 // a 64-processor hypercube
+	cube := torusmesh.Hypercube(dim)
+	fmt.Printf("machine: hypercube with %d processors\n\n", cube.Size())
+
+	// The multigrid hierarchy: 8x8, then coarser grids simulated on
+	// subsets - here we embed the finest few same-size variants.
+	guests := []torusmesh.Spec{
+		torusmesh.Mesh(8, 8),
+		torusmesh.Mesh(4, 16),
+		torusmesh.Mesh(2, 32),
+		torusmesh.Mesh(4, 4, 4),
+		torusmesh.Mesh(2, 4, 8),
+		torusmesh.Torus(8, 8),
+		torusmesh.Torus(4, 4, 4),
+		torusmesh.Line(64),
+		torusmesh.Ring(64),
+	}
+	fmt.Println("guest -> hypercube(6): dilation (Corollary 34 claims 1 for all)")
+	for _, g := range guests {
+		e, err := torusmesh.Embed(g, cube)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s dilation %d via %s\n", g.String(), e.Dilation(), e.Strategy)
+	}
+
+	// Gray codes are the 1-dimensional slice of the machinery: the
+	// binary reflected Gray code is f_L for the all-twos shape.
+	fmt.Println("\nbinary reflected Gray code from f_L over shape 2x2x2:")
+	L := torusmesh.Shape{2, 2, 2}
+	for x := 0; x < 8; x++ {
+		fmt.Printf("  %d -> %v\n", x, torusmesh.GrayF(L, x))
+	}
+
+	// And the converse direction: the hypercube embeds in a square mesh
+	// of the same size with dilation m/2 (Corollary 49).
+	e, err := torusmesh.Embed(cube, torusmesh.Mesh(8, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhypercube(6) -> mesh(8x8): dilation %d (Corollary 49: m/2 = 4)\n", e.Dilation())
+}

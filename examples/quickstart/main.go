@@ -1,0 +1,50 @@
+// Quickstart: embed a 24-node ring in a 4x2x3 mesh with unit dilation
+// (Theorem 24 of Ma & Tao) and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torusmesh"
+)
+
+func main() {
+	ring := torusmesh.Ring(24)
+	mesh := torusmesh.Mesh(4, 2, 3)
+
+	e, err := torusmesh.Embed(ring, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedding %s in %s\n", ring, mesh)
+	fmt.Printf("strategy:  %s\n", e.Strategy)
+	fmt.Printf("dilation:  %d (guaranteed <= %d)\n", e.Dilation(), e.Predicted)
+
+	// Walk the ring and print where each node lands: consecutive ring
+	// nodes land on adjacent mesh nodes, all the way around.
+	fmt.Println("\nring node -> mesh node")
+	var prev torusmesh.Node
+	for x := 0; x < ring.Size(); x++ {
+		img := e.Map(torusmesh.Node{x})
+		marker := ""
+		if prev != nil {
+			if torusmesh.Distance(mesh, prev, img) != 1 {
+				marker = "  <- NOT adjacent (bug!)"
+			}
+		}
+		fmt.Printf("  %2d -> %s%s\n", x, img, marker)
+		prev = img
+	}
+	wrap := torusmesh.Distance(mesh, e.Map(torusmesh.Node{23}), e.Map(torusmesh.Node{0}))
+	fmt.Printf("wrap-around edge 23-0 maps to mesh distance %d\n", wrap)
+
+	// The same ring in an odd mesh can only achieve dilation 2
+	// (Theorem 17) - the library knows this is optimal.
+	odd, err := torusmesh.Embed(torusmesh.Ring(15), torusmesh.Mesh(3, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nring(15) in mesh(3x5): dilation %d via %s (optimal: no odd mesh has a Hamiltonian circuit)\n",
+		odd.Dilation(), odd.Strategy)
+}

@@ -1,0 +1,72 @@
+// Squares example: Section 5 of the paper. Square toruses and meshes can
+// always be embedded into one another; lowering dimension goes through a
+// chain of intermediate shapes, each step a general reduction. This
+// example lowers a 5-dimensional 4x4x4x4x4 mesh onto a 32x32 mesh and
+// raises an 8x8 torus into a 4x4x4 torus, printing what happens inside.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"torusmesh"
+)
+
+func main() {
+	// Lowering: d=5 -> c=2 with side 4. gcd(5,2)=1, u=5, v=2,
+	// root = 4^{1/2} = 2; the chain multiplies the two leading sides by
+	// 2 at every step while dropping one trailing dimension.
+	g := torusmesh.SquareMesh(5, 4)
+	h := torusmesh.SquareMesh(2, 32)
+	e, err := torusmesh.Embed(g, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s -> %s\n", g, h)
+	fmt.Printf("strategy: %s\n", e.Strategy)
+	fmt.Printf("guarantee: dilation <= %d  (Theorem 51: l^((d-c)/c) = 4^(3/2) = 8)\n", e.Predicted)
+	fmt.Printf("measured: %d\n", e.Dilation())
+	fmt.Printf("lower bound (Theorem 47 ball argument): %d\n\n", torusmesh.DilationLowerBound(g, h))
+
+	// The same lowering for a torus pays a factor 2 into a mesh
+	// (Lemma 36 penalty at the last hop) but not into a torus.
+	gt := torusmesh.SquareTorus(5, 4)
+	for _, host := range []torusmesh.Spec{torusmesh.SquareTorus(2, 32), torusmesh.SquareMesh(2, 32)} {
+		e, err := torusmesh.Embed(gt, host)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s: guarantee %d, measured %d\n", gt, host, e.Predicted, e.Dilation())
+	}
+
+	// Increasing dimension: an 8x8 torus into a 4x4x4 torus is not an
+	// expansion (4*4 != 8) - Theorem 53 routes through an intermediate
+	// 2^6 hypercube.
+	fmt.Println()
+	g2 := torusmesh.SquareTorus(2, 8)
+	h2 := torusmesh.SquareTorus(3, 4)
+	e2, err := torusmesh.Embed(g2, h2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s -> %s\n", g2, h2)
+	fmt.Printf("strategy: %s\n", e2.Strategy)
+	fmt.Printf("guarantee: dilation <= %d  (Theorem 53: l^((d-a)/c) = 8^(1/3) = 2)\n", e2.Predicted)
+	fmt.Printf("measured: %d\n", e2.Dilation())
+
+	// Divisible increasing dimension is simply optimal (Theorem 52).
+	fmt.Println()
+	for _, c := range []struct {
+		g, h torusmesh.Spec
+	}{
+		{torusmesh.SquareMesh(2, 9), torusmesh.SquareMesh(4, 3)},
+		{torusmesh.SquareTorus(2, 9), torusmesh.SquareMesh(4, 3)}, // odd torus: optimal 2
+		{torusmesh.SquareTorus(2, 4), torusmesh.SquareMesh(4, 2)}, // even torus: 1
+	} {
+		e, err := torusmesh.Embed(c.g, c.h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s: dilation %d (%s)\n", c.g, c.h, e.Dilation(), e.Strategy)
+	}
+}

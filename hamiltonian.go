@@ -1,0 +1,23 @@
+package torusmesh
+
+import "torusmesh/internal/ham"
+
+// HamiltonianPath returns a Hamiltonian path of the torus or mesh: the
+// node order f_L(0), ..., f_L(n-1) (Theorem 13 read as a path).
+func HamiltonianPath(sp Spec) []Node { return ham.Path(sp) }
+
+// HasHamiltonianCircuit reports the paper's classification: every torus
+// has a Hamiltonian circuit (Corollary 29); a mesh has one exactly when
+// its size is even and its dimension is at least 2 (Corollaries 18, 25).
+func HasHamiltonianCircuit(sp Spec) bool { return ham.HasCircuit(sp) }
+
+// HamiltonianCircuit returns a Hamiltonian circuit of the graph, or an
+// error when none exists (odd meshes and lines).
+func HamiltonianCircuit(sp Spec) ([]Node, error) { return ham.Circuit(sp) }
+
+// VerifyHamiltonianCircuit checks that seq visits every node exactly
+// once with cyclically adjacent consecutive nodes.
+func VerifyHamiltonianCircuit(sp Spec, seq []Node) error { return ham.VerifyCircuit(sp, seq) }
+
+// VerifyHamiltonianPath checks that seq is a Hamiltonian path.
+func VerifyHamiltonianPath(sp Spec, seq []Node) error { return ham.VerifyPath(sp, seq) }

@@ -1,0 +1,128 @@
+// Package catalog enumerates torus/mesh shapes of a given size — the
+// ordered factorizations of n into parts greater than 1. It powers the
+// coverage census (which fraction of same-size shape pairs the paper's
+// conditions of expansion/reduction/squareness actually cover) and the
+// integration sweeps in the test suite.
+package catalog
+
+import (
+	"sort"
+
+	"torusmesh/internal/grid"
+)
+
+// ShapesOfSize returns every shape (ordered composition of factors >= 2)
+// whose product is n, optionally capped at maxDim dimensions
+// (maxDim <= 0 means unlimited). Shapes are returned in deterministic
+// order: by dimension, then lexicographically.
+func ShapesOfSize(n, maxDim int) []grid.Shape {
+	if n < 2 {
+		return nil
+	}
+	var out []grid.Shape
+	var cur grid.Shape
+	var rec func(rem int)
+	rec = func(rem int) {
+		if rem == 1 {
+			shape := cur.Clone()
+			out = append(out, shape)
+			return
+		}
+		if maxDim > 0 && len(cur) == maxDim {
+			return
+		}
+		for f := 2; f <= rem; f++ {
+			if rem%f != 0 {
+				continue
+			}
+			cur = append(cur, f)
+			rec(rem / f)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(n)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CanonicalShapesOfSize returns one representative per multiset of
+// factors (non-increasing order), since permuted shapes are isomorphic
+// graphs. Ordered by dimension then lexicographically.
+func CanonicalShapesOfSize(n, maxDim int) []grid.Shape {
+	all := ShapesOfSize(n, maxDim)
+	seen := map[string]bool{}
+	var out []grid.Shape
+	for _, s := range all {
+		c := s.Clone()
+		sort.Sort(sort.Reverse(sort.IntSlice(c)))
+		key := c.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Census summarizes how many ordered pairs of canonical shapes of size n
+// each embedding strategy covers.
+type Census struct {
+	Size       int
+	Shapes     int
+	Pairs      int            // ordered pairs of (canonical shape, kind) x (canonical shape, kind)
+	Embeddable int            // pairs for which some construction applies
+	ByStrategy map[string]int // strategy prefix -> count
+}
+
+// Coverage runs the census for size n using the given embed function
+// (typically core.Embed). Strategy names are truncated at the first '/'
+// so variants group together.
+func Coverage(n, maxDim int, embed func(g, h grid.Spec) (string, error)) Census {
+	shapes := CanonicalShapesOfSize(n, maxDim)
+	c := Census{Size: n, Shapes: len(shapes), ByStrategy: map[string]int{}}
+	kinds := []grid.Kind{grid.Mesh, grid.Torus}
+	for _, gs := range shapes {
+		for _, hs := range shapes {
+			for _, gk := range kinds {
+				for _, hk := range kinds {
+					c.Pairs++
+					strategy, err := embed(grid.Spec{Kind: gk, Shape: gs}, grid.Spec{Kind: hk, Shape: hs})
+					if err != nil {
+						continue
+					}
+					c.Embeddable++
+					key := strategy
+					for i := 0; i < len(strategy); i++ {
+						if strategy[i] == '/' || strategy[i] == '[' {
+							key = strategy[:i]
+							break
+						}
+					}
+					c.ByStrategy[key]++
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"testing"
+
+	"torusmesh/internal/core"
+	"torusmesh/internal/grid"
+)
+
+func TestShapesOfSize(t *testing.T) {
+	// 12 = 12 | 2x6 | 6x2 | 3x4 | 4x3 | 2x2x3 | 2x3x2 | 3x2x2.
+	shapes := ShapesOfSize(12, 0)
+	if len(shapes) != 8 {
+		t.Fatalf("ShapesOfSize(12) returned %d shapes: %v", len(shapes), shapes)
+	}
+	for _, s := range shapes {
+		if s.Size() != 12 {
+			t.Errorf("shape %s has size %d", s, s.Size())
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("shape %s invalid: %v", s, err)
+		}
+	}
+	// Cap at 2 dimensions.
+	capped := ShapesOfSize(12, 2)
+	if len(capped) != 5 {
+		t.Errorf("ShapesOfSize(12, maxDim=2) returned %d shapes: %v", len(capped), capped)
+	}
+	if got := ShapesOfSize(1, 0); got != nil {
+		t.Error("size 1 should return nothing")
+	}
+	// Primes have exactly one shape.
+	if got := ShapesOfSize(7, 0); len(got) != 1 || got[0].Size() != 7 {
+		t.Errorf("ShapesOfSize(7) = %v", got)
+	}
+}
+
+func TestCanonicalShapesOfSize(t *testing.T) {
+	// Canonical for 12: 12 | 6x2 | 4x3 | 3x2x2.
+	shapes := CanonicalShapesOfSize(12, 0)
+	if len(shapes) != 4 {
+		t.Fatalf("CanonicalShapesOfSize(12) = %v", shapes)
+	}
+	for _, s := range shapes {
+		for i := 1; i < len(s); i++ {
+			if s[i] > s[i-1] {
+				t.Errorf("shape %s not non-increasing", s)
+			}
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	census := Coverage(16, 0, func(g, h grid.Spec) (string, error) {
+		e, err := core.Embed(g, h)
+		if err != nil {
+			return "", err
+		}
+		return e.Strategy, nil
+	})
+	if census.Shapes != 5 {
+		// 16 | 8x2 | 4x4 | 4x2x2 | 2x2x2x2
+		t.Errorf("census shapes = %d, want 5", census.Shapes)
+	}
+	if census.Pairs != 5*5*4 {
+		t.Errorf("census pairs = %d, want 100", census.Pairs)
+	}
+	// Power-of-two sizes are fully covered: every pair is expandable,
+	// reducible or square (hypercube glue).
+	if census.Embeddable != census.Pairs {
+		t.Errorf("census embeddable = %d of %d; power-of-two families should be total", census.Embeddable, census.Pairs)
+	}
+	if len(census.ByStrategy) == 0 {
+		t.Error("census recorded no strategies")
+	}
+	total := 0
+	for _, c := range census.ByStrategy {
+		total += c
+	}
+	if total != census.Embeddable {
+		t.Errorf("strategy counts sum to %d, want %d", total, census.Embeddable)
+	}
+}

@@ -1,0 +1,298 @@
+// Package core is the top-level embedding engine: given any guest and
+// host torus/mesh of the same size, it selects and constructs the
+// appropriate embedding from Ma & Tao's toolbox:
+//
+//   - basic embeddings (guest dimension 1): f_L for lines (Theorem 13),
+//     h_L / π∘h_{L*} / g_L for rings (Theorems 17, 24, 28);
+//   - same dimension: coordinate permutation plus identity or T_L
+//     (Lemma 36);
+//   - increasing dimension: expansion embeddings F_V/G_V/H_V
+//     (Theorem 32), falling back to the square-graph construction of
+//     Theorem 53 when the shapes do not satisfy the condition of
+//     expansion;
+//   - lowering dimension: simple then general reduction (Theorems 39
+//     and 43), falling back to the square-graph chain of Theorem 51.
+//
+// Hypercubes are both toruses and meshes; the dispatcher exploits this by
+// treating a hypercube guest as a mesh and a hypercube host as a torus,
+// which always yields the cheaper construction (Theorems 33 and 39's
+// corollaries).
+package core
+
+import (
+	"fmt"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/expand"
+	"torusmesh/internal/gray"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+	"torusmesh/internal/radix"
+	"torusmesh/internal/reduce"
+	"torusmesh/internal/square"
+)
+
+// Embed constructs an embedding of g in h with the smallest dilation
+// guarantee the paper's constructions offer for the pair. It returns an
+// error when the sizes differ or none of the paper's conditions
+// (expansion, reduction, squareness, matching shapes) hold.
+func Embed(g, h grid.Spec) (*embed.Embedding, error) {
+	if err := g.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: guest: %v", err)
+	}
+	if err := h.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: host: %v", err)
+	}
+	if g.Size() != h.Size() {
+		return nil, fmt.Errorf("core: guest %s has %d nodes but host %s has %d; the paper studies same-size embeddings",
+			g, g.Size(), h, h.Size())
+	}
+	// A hypercube is simultaneously a torus and a mesh: choose the
+	// interpretation that yields the cheaper construction.
+	eg, eh := g, h
+	if eg.Shape.IsHypercube() {
+		eg.Kind = grid.Mesh
+	}
+	if eh.Shape.IsHypercube() {
+		eh.Kind = grid.Torus
+	}
+	e, err := dispatch(eg, eh)
+	if err != nil {
+		return nil, err
+	}
+	if eg.Kind == g.Kind && eh.Kind == h.Kind {
+		return e, nil
+	}
+	// Re-wrap with the caller's kinds (same shapes, same adjacency).
+	return embed.New(g, h, e.Strategy, e.Predicted, e.Map)
+}
+
+func dispatch(g, h grid.Spec) (*embed.Embedding, error) {
+	d, c := g.Dim(), h.Dim()
+	switch {
+	case d == 1:
+		return embedBasic(g, h)
+	case d == c:
+		if e, err := embedSameDimension(g, h); err == nil {
+			return e, nil
+		}
+		return embedViaPrimeRefinement(g, h)
+	case d < c:
+		if e, err := expand.Embed(g, h); err == nil {
+			return e, nil
+		}
+		if g.Shape.IsSquare() && h.Shape.IsSquare() {
+			return square.Embed(g, h)
+		}
+		return embedViaPrimeRefinement(g, h)
+	default:
+		if e, err := reduce.Embed(g, h); err == nil {
+			return e, nil
+		}
+		if g.Shape.IsSquare() && h.Shape.IsSquare() {
+			return square.Embed(g, h)
+		}
+		return embedViaPrimeRefinement(g, h)
+	}
+}
+
+// embedViaPrimeRefinement is an extension beyond the paper's explicit
+// cases, built purely from its tools: every shape is an expansion of the
+// all-primes shape of its size, so G expands into the prime shape X
+// (Theorem 32) and X simple-reduces onto H (Theorem 39). This covers
+// every same-size pair the explicit conditions miss — e.g. the
+// equal-dimension pair (8,2) -> (4,4) — at the cost of a weaker dilation
+// bound (the product of the two steps' guarantees). The intermediate is
+// a torus only when both endpoints are toruses, so the torus-into-mesh
+// penalty is paid at most once.
+func embedViaPrimeRefinement(g, h grid.Spec) (*embed.Embedding, error) {
+	x := primeShape(g.Size())
+	midKind := grid.Mesh
+	if g.Kind == grid.Torus && h.Kind == grid.Torus {
+		midKind = grid.Torus
+	}
+	mid := grid.Spec{Kind: midKind, Shape: x}
+
+	up, err := refineToPrimes(g, mid)
+	if err != nil {
+		return nil, err
+	}
+	down, err := coarsenFromPrimes(mid, h)
+	if err != nil {
+		return nil, err
+	}
+	e, err := embed.Compose(up, down)
+	if err != nil {
+		return nil, err
+	}
+	e.Strategy = "prime-refinement[" + up.Strategy + " ∘ " + down.Strategy + "]"
+	return e, nil
+}
+
+// refineToPrimes embeds g in the all-primes graph mid (expansion, or a
+// permutation when g is already a prime shape).
+func refineToPrimes(g, mid grid.Spec) (*embed.Embedding, error) {
+	if g.Dim() == mid.Dim() {
+		pi, ok := perm.Find(g.Shape, mid.Shape)
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: %v is not a permutation of the prime shape %v", g.Shape, mid.Shape)
+		}
+		p, err := embed.Permute(g, pi, g.Kind)
+		if err != nil {
+			return nil, err
+		}
+		same, err := reduce.SameShape(p.To, mid)
+		if err != nil {
+			return nil, err
+		}
+		return embed.Compose(p, same)
+	}
+	factor := make(expand.Factor, g.Dim())
+	for i, l := range g.Shape {
+		primes := primeFactors(l)
+		// Put a 2 first when present so H_V applies to even toruses.
+		for j, p := range primes {
+			if p%2 == 0 {
+				primes[0], primes[j] = primes[j], primes[0]
+				break
+			}
+		}
+		factor[i] = primes
+	}
+	return expand.WithFactor(g, mid, factor)
+}
+
+// coarsenFromPrimes embeds the all-primes graph mid in h (simple
+// reduction, or a permutation when h is already a prime shape).
+func coarsenFromPrimes(mid, h grid.Spec) (*embed.Embedding, error) {
+	if mid.Dim() == h.Dim() {
+		pi, ok := perm.Find(mid.Shape, h.Shape)
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: prime shape %v is not a permutation of %v", mid.Shape, h.Shape)
+		}
+		p, err := embed.Permute(mid, pi, mid.Kind)
+		if err != nil {
+			return nil, err
+		}
+		same, err := reduce.SameShape(p.To, h)
+		if err != nil {
+			return nil, err
+		}
+		return embed.Compose(p, same)
+	}
+	sf := make(reduce.SimpleFactor, h.Dim())
+	for k, m := range h.Shape {
+		// primeFactors is already non-increasing, which minimizes the
+		// Theorem 39 bound m_k / l_{v_k}.
+		sf[k] = primeFactors(m)
+	}
+	return reduce.WithSimpleFactor(mid, h, sf)
+}
+
+// primeShape returns the shape consisting of all prime factors of n in
+// non-increasing order.
+func primeShape(n int) grid.Shape {
+	return grid.Shape(primeFactors(n))
+}
+
+// primeFactors returns the prime factorization of n with multiplicity,
+// in non-increasing order (shape convention: largest lengths first).
+func primeFactors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			out = append(out, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// embedBasic handles guests of dimension 1 (lines and rings), Section 3.
+func embedBasic(g, h grid.Spec) (*embed.Embedding, error) {
+	L := radix.Base(h.Shape)
+	n := g.Size()
+	if g.Kind == grid.Mesh {
+		// A line embeds anywhere with unit dilation (Theorem 13).
+		return embed.New(g, h, "basic/f_L", 1, func(node grid.Node) grid.Node {
+			return gray.F(L, node[0])
+		})
+	}
+	// Guest is a ring.
+	if h.Kind == grid.Torus {
+		// Theorem 28: unit dilation into any torus.
+		return embed.New(g, h, "basic/h_L", 1, func(node grid.Node) grid.Node {
+			return gray.H(L, node[0])
+		})
+	}
+	if n%2 == 0 && h.Dim() >= 2 {
+		// Theorem 24: even ring into a mesh of dimension >= 2 with unit
+		// dilation, permuting an even length to the front.
+		evenIdx := -1
+		for i, l := range h.Shape {
+			if l%2 == 0 {
+				evenIdx = i
+				break
+			}
+		}
+		lStar := h.Shape.Clone()
+		lStar[0], lStar[evenIdx] = lStar[evenIdx], lStar[0]
+		pi, ok := perm.Find(lStar, h.Shape)
+		if !ok {
+			return nil, fmt.Errorf("core: internal error building L* for %s", h)
+		}
+		base := radix.Base(lStar)
+		return embed.New(g, h, "basic/π∘h_L*", 1, func(node grid.Node) grid.Node {
+			return grid.Node(perm.Apply(pi, gray.H(base, node[0])))
+		})
+	}
+	// Theorem 17: dilation 2, optimal for odd meshes and lines of size > 2.
+	return embed.New(g, h, "basic/g_L", 2, func(node grid.Node) grid.Node {
+		return gray.G(L, node[0])
+	})
+}
+
+// embedSameDimension handles d == c: the shapes must be permutations of
+// each other (the paper's same-shape case composed with the π glue).
+func embedSameDimension(g, h grid.Spec) (*embed.Embedding, error) {
+	pi, ok := perm.Find(g.Shape, h.Shape)
+	if !ok {
+		return nil, fmt.Errorf("core: same-dimension shapes %s and %s are not permutations of each other; the paper gives no construction", g.Shape, h.Shape)
+	}
+	p1, err := embed.Permute(g, pi, g.Kind)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := reduce.SameShape(p1.To, h)
+	if err != nil {
+		return nil, err
+	}
+	e, err := embed.Compose(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	if g.Kind == grid.Torus && h.Kind == grid.Mesh && !g.IsHypercube() {
+		e.Strategy = "same-dim/T_L∘π"
+		e.Predicted = 2
+	} else {
+		e.Strategy = "same-dim/π"
+		e.Predicted = 1
+	}
+	return e, nil
+}
+
+// Predicted returns the dilation guarantee Embed would attach for the
+// pair without constructing the node map. It mirrors the dispatch logic.
+func Predicted(g, h grid.Spec) (int, error) {
+	e, err := Embed(g, h)
+	if err != nil {
+		return 0, err
+	}
+	return e.Predicted, nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/optimal"
+)
+
+// TestBasicEmbeddingsFigure10 reproduces Figure 10: a line of size 24
+// embeds in a (4,2,3)-mesh with dilation 1, a ring with dilation 1 via
+// h_L (even size), and the g_L fallback achieves 2.
+func TestBasicEmbeddingsFigure10(t *testing.T) {
+	mesh := grid.MeshSpec(4, 2, 3)
+	line, err := Embed(grid.LineSpec(24), mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := line.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := line.Dilation(); d != 1 {
+		t.Errorf("line dilation = %d, want 1", d)
+	}
+	ring, err := Embed(grid.RingSpec(24), mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ring.Dilation(); d != 1 {
+		t.Errorf("even ring into mesh dilation = %d, want 1 (Theorem 24)", d)
+	}
+}
+
+func TestBasicMatrix(t *testing.T) {
+	cases := []struct {
+		g, h grid.Spec
+		want int
+	}{
+		{grid.LineSpec(24), grid.MeshSpec(4, 2, 3), 1},
+		{grid.LineSpec(24), grid.TorusSpec(4, 2, 3), 1},
+		{grid.LineSpec(15), grid.MeshSpec(3, 5), 1},
+		{grid.RingSpec(24), grid.TorusSpec(4, 2, 3), 1},
+		{grid.RingSpec(15), grid.TorusSpec(3, 5), 1}, // odd ring into torus: h_L
+		{grid.RingSpec(15), grid.MeshSpec(3, 5), 2},  // odd ring into mesh: optimal 2
+		{grid.RingSpec(24), grid.MeshSpec(4, 2, 3), 1},
+		{grid.RingSpec(18), grid.MeshSpec(3, 6), 1}, // even length in position 2
+		{grid.RingSpec(8), grid.LineSpec(8), 2},     // ring into line: optimal 2
+		{grid.RingSpec(2), grid.LineSpec(2), 1},     // degenerate 2-ring
+		{grid.LineSpec(8), grid.RingSpec(8), 1},
+		{grid.RingSpec(8), grid.RingSpec(8), 1},
+		{grid.LineSpec(6), grid.LineSpec(6), 1},
+	}
+	for _, c := range cases {
+		e, err := Embed(c.g, c.h)
+		if err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if err := e.Verify(); err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if d := e.Dilation(); d != c.want {
+			t.Errorf("%s -> %s: dilation %d, want %d (strategy %s)", c.g, c.h, d, c.want, e.Strategy)
+		}
+	}
+}
+
+func TestSameDimensionPermuted(t *testing.T) {
+	e, err := Embed(grid.MeshSpec(3, 4, 5), grid.MeshSpec(5, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 1 {
+		t.Errorf("permuted mesh dilation = %d, want 1", d)
+	}
+	e2, err := Embed(grid.TorusSpec(3, 4), grid.MeshSpec(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e2.Dilation(); d != 2 {
+		t.Errorf("permuted torus->mesh dilation = %d, want 2", d)
+	}
+	// Equal-dimension non-permutation pairs fall back to the
+	// prime-refinement extension: (4,9) -> (2,2,3,3) -> (6,6).
+	e3, err := Embed(grid.MeshSpec(4, 9), grid.MeshSpec(6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e3.Strategy, "prime-refinement") {
+		t.Errorf("strategy = %q, want prime-refinement", e3.Strategy)
+	}
+	if d, err := e3.CheckPredicted(); err != nil {
+		t.Errorf("measured %d: %v", d, err)
+	}
+}
+
+func TestHypercubeNormalization(t *testing.T) {
+	// A hypercube guest declared as a torus still gets unit dilation into
+	// a same-size mesh (it is treated as a mesh).
+	e, err := Embed(grid.TorusSpec(2, 2, 2, 2), grid.MeshSpec(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 2 {
+		t.Errorf("hypercube -> 4x4 mesh dilation = %d, want 2 (= max m_i / 2, Corollary 40)", d)
+	}
+	// A hypercube host declared as a mesh accepts a torus guest with unit
+	// dilation (treated as a torus).
+	e2, err := Embed(grid.TorusSpec(4, 4), grid.MeshSpec(2, 2, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e2.Dilation(); d != 1 {
+		t.Errorf("torus -> hypercube-as-mesh dilation = %d, want 1", d)
+	}
+	if e2.From.Kind != grid.Torus || e2.To.Kind != grid.Mesh {
+		t.Error("returned embedding does not carry the caller's kinds")
+	}
+}
+
+func TestDispatchIncreasing(t *testing.T) {
+	// Expansion applies.
+	e, err := Embed(grid.MeshSpec(4, 6), grid.MeshSpec(2, 2, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Strategy, "expansion") {
+		t.Errorf("strategy = %q, want expansion", e.Strategy)
+	}
+	// Expansion fails but graphs are square: Theorem 53.
+	e2, err := Embed(grid.MeshSpec(8, 8), grid.MeshSpec(4, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e2.Dilation(); d > 2 {
+		t.Errorf("(8,8) -> (4,4,4) dilation = %d, want <= 2 (Theorem 53)", d)
+	}
+	// Neither expansion nor squareness applies: the prime-refinement
+	// extension still produces a valid embedding.
+	e3, err := Embed(grid.MeshSpec(6, 6), grid.MeshSpec(4, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e3.Strategy, "prime-refinement") {
+		t.Errorf("strategy = %q, want prime-refinement", e3.Strategy)
+	}
+	if d, err := e3.CheckPredicted(); err != nil {
+		t.Errorf("measured %d: %v", d, err)
+	}
+}
+
+func TestDispatchLowering(t *testing.T) {
+	// Simple reduction applies.
+	e, err := Embed(grid.MeshSpec(4, 2, 3), grid.MeshSpec(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Strategy, "simple-reduction") {
+		t.Errorf("strategy = %q, want simple reduction", e.Strategy)
+	}
+	// General reduction applies.
+	e2, err := Embed(grid.MeshSpec(3, 4, 4), grid.MeshSpec(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e2.Strategy, "general-reduction") {
+		t.Errorf("strategy = %q, want general reduction", e2.Strategy)
+	}
+	// Square chain fallback: (4,4,4) -> (8,8) is actually a general
+	// reduction too, so use a case needing the chain: none exists below
+	// dimension 2c... all square lowering with c < d < 2c is a general
+	// reduction; d >= 2c needs the chain through intermediates, e.g.
+	// (4,4,4,4,4) -> (32,32) (d=5, c=2).
+	e3, err := Embed(grid.MustSpec(grid.Mesh, grid.Square(5, 4)), grid.MeshSpec(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e3.Dilation(); d > 8 {
+		t.Errorf("(4^5) -> (32,32) dilation = %d, want <= 8 (Theorem 51)", d)
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	if _, err := Embed(grid.MeshSpec(4, 4), grid.MeshSpec(4, 5)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+// TestAgainstBruteForce compares the dispatcher's dilation with the true
+// optimum on every tiny pair where the paper claims optimality.
+func TestAgainstBruteForce(t *testing.T) {
+	cases := []struct{ g, h grid.Spec }{
+		{grid.LineSpec(8), grid.MeshSpec(4, 2)},
+		{grid.RingSpec(8), grid.MeshSpec(4, 2)},
+		{grid.RingSpec(9), grid.MeshSpec(3, 3)},
+		{grid.RingSpec(6), grid.LineSpec(6)},
+		{grid.TorusSpec(3, 3), grid.MeshSpec(3, 3)},
+		{grid.MeshSpec(2, 4), grid.TorusSpec(2, 2, 2)},
+		{grid.TorusSpec(2, 4), grid.MeshSpec(2, 2, 2)},
+	}
+	for _, c := range cases {
+		e, err := Embed(c.g, c.h)
+		if err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		ours := e.Dilation()
+		opt, err := optimal.MinDilation(c.g, c.h, 16)
+		if err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if ours != opt {
+			t.Errorf("%s -> %s: ours %d, optimal %d (strategy %s)", c.g, c.h, ours, opt, e.Strategy)
+		}
+	}
+}
+
+func TestPredicted(t *testing.T) {
+	p, err := Predicted(grid.RingSpec(15), grid.MeshSpec(3, 5))
+	if err != nil || p != 2 {
+		t.Errorf("Predicted = %d, %v; want 2", p, err)
+	}
+	if _, err := Predicted(grid.MeshSpec(4, 4), grid.MeshSpec(4, 5)); err == nil {
+		t.Error("Predicted accepted size mismatch")
+	}
+}

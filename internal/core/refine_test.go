@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+// TestPrimeRefinementPrimeEndpoints exercises the permutation branches
+// of refineToPrimes / coarsenFromPrimes: guests and hosts that already
+// are prime shapes.
+func TestPrimeRefinementPrimeEndpoints(t *testing.T) {
+	// Guest is the prime shape: refine is a pure permutation.
+	// (3,2,2) is the prime shape of 12; host (4,3)... wait simple
+	// reduction covers that; force refinement with (2,3,2) -> (6,2):
+	// FindSimple succeeds there too, so build a genuinely refinement-only
+	// pair: equal dimension, non-permutation: (2,2,9) -> (6,6) has d=3,
+	// c=2 and simple reduction fails (no subset of {2,2,9} multiplies to
+	// 6), general reduction? 9 = 3*3 pairs with the 2s: works. Use a
+	// same-dimension pair instead.
+	g := grid.TorusSpec(4, 9)
+	h := grid.TorusSpec(6, 6)
+	e, err := Embed(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := e.CheckPredicted(); err != nil {
+		t.Fatalf("measured %d: %v", d, err)
+	}
+
+	// Host is the prime shape while the guest is not, same dimension:
+	// (4,3) -> (2,2,3) is expansion; for the coarsen-permutation branch
+	// use a guest whose prime shape equals the host's dimension count:
+	// (9,2) -> (3,3,2) is again expansion. The permutation branch of
+	// coarsenFromPrimes only triggers when h is prime-shaped AND the
+	// pair required refinement, i.e. equal dimensions d == c == #primes:
+	// then both are prime shapes and same-dim handles it. So assert the
+	// mesh/torus kind change path through refinement instead.
+	g2 := grid.TorusSpec(4, 9)
+	h2 := grid.MeshSpec(6, 6)
+	e2, err := Embed(g2, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := e2.CheckPredicted(); err != nil {
+		t.Fatalf("measured %d: %v", d, err)
+	}
+	// Torus guest into mesh host through refinement pays the factor 2 at
+	// most once.
+	if d := e2.Dilation(); d > 2*e.Dilation()+2 {
+		t.Errorf("torus->mesh refinement dilation %d looks unreasonably high vs torus->torus %d", d, e.Dilation())
+	}
+}
+
+// TestRefineCoarsenPermutationBranches drives the helper functions
+// directly with prime-shaped endpoints. Dispatch never reaches these
+// branches (a prime-shaped guest always admits a direct reduction and a
+// prime-shaped host a direct expansion), but the helpers stay total so
+// future callers cannot trip on them.
+func TestRefineCoarsenPermutationBranches(t *testing.T) {
+	mid := grid.Spec{Kind: grid.Mesh, Shape: primeShape(12)} // (3,2,2)
+	up, err := refineToPrimes(grid.MeshSpec(2, 2, 3), mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := up.Dilation(); d != 1 {
+		t.Errorf("prime-shaped refine dilation = %d, want 1", d)
+	}
+	down, err := coarsenFromPrimes(mid, grid.TorusSpec(2, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := down.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := down.Dilation(); d != 1 {
+		t.Errorf("prime-shaped coarsen dilation = %d, want 1", d)
+	}
+	// Torus prime guest into the mesh intermediate pays Lemma 36's 2.
+	up2, err := refineToPrimes(grid.TorusSpec(3, 2, 2), mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := up2.Dilation(); d != 2 {
+		t.Errorf("torus prime refine into mesh dilation = %d, want 2", d)
+	}
+}
+
+// TestPrimeShapeHelpers pins primeShape and primeFactors.
+func TestPrimeShapeHelpers(t *testing.T) {
+	ps := primeShape(60)
+	if !ps.Equal(grid.Shape{5, 3, 2, 2}) {
+		t.Errorf("primeShape(60) = %v", ps)
+	}
+	pf := primeFactors(1)
+	if len(pf) != 0 {
+		t.Errorf("primeFactors(1) = %v", pf)
+	}
+	if got := primeFactors(17); len(got) != 1 || got[0] != 17 {
+		t.Errorf("primeFactors(17) = %v", got)
+	}
+}

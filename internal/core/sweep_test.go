@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/grid"
+)
+
+// TestSweepSizes embeds every ordered pair of shapes (not just canonical
+// ones — permuted variants exercise the π glue) for several sizes, in
+// all four kind combinations, verifying injectivity and the recorded
+// guarantee. With the prime-refinement extension every pair must
+// succeed.
+func TestSweepSizes(t *testing.T) {
+	sizes := []int{12, 18, 20, 30}
+	kinds := []grid.Kind{grid.Mesh, grid.Torus}
+	checked := 0
+	for _, n := range sizes {
+		shapes := catalog.ShapesOfSize(n, 0)
+		for _, gs := range shapes {
+			for _, hs := range shapes {
+				for _, gk := range kinds {
+					for _, hk := range kinds {
+						g := grid.Spec{Kind: gk, Shape: gs}
+						h := grid.Spec{Kind: hk, Shape: hs}
+						e, err := Embed(g, h)
+						if err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						if err := e.Verify(); err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						if d, err := e.CheckPredicted(); err != nil {
+							t.Fatalf("%s -> %s: measured %d: %v", g, h, d, err)
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Errorf("sweep covered only %d pairs", checked)
+	}
+	t.Logf("sweep verified %d embeddings", checked)
+}
+
+// TestSweepOddSizes exercises the all-odd paths (no even dimension means
+// no h_L* trick, g_L and G_V must carry rings and toruses).
+func TestSweepOddSizes(t *testing.T) {
+	kinds := []grid.Kind{grid.Mesh, grid.Torus}
+	for _, n := range []int{9, 15, 21, 27, 45} {
+		shapes := catalog.ShapesOfSize(n, 0)
+		for _, gs := range shapes {
+			for _, hs := range shapes {
+				for _, gk := range kinds {
+					for _, hk := range kinds {
+						g := grid.Spec{Kind: gk, Shape: gs}
+						h := grid.Spec{Kind: hk, Shape: hs}
+						e, err := Embed(g, h)
+						if err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						if d, err := e.CheckPredicted(); err != nil {
+							t.Fatalf("%s -> %s: measured %d: %v", g, h, d, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrimeRefinementEndToEnd pins a few pairs only the extension
+// covers and sanity-checks their dilation stays moderate.
+func TestPrimeRefinementEndToEnd(t *testing.T) {
+	cases := []struct {
+		g, h    grid.Spec
+		maxCost int
+	}{
+		{grid.MeshSpec(8, 2), grid.MeshSpec(4, 4), 4},
+		{grid.MeshSpec(4, 4), grid.MeshSpec(8, 2), 4},
+		{grid.TorusSpec(8, 2), grid.TorusSpec(4, 4), 4},
+		{grid.TorusSpec(4, 9), grid.TorusSpec(6, 6), 6},
+		{grid.MeshSpec(6, 6), grid.MeshSpec(4, 3, 3), 4},
+	}
+	for _, c := range cases {
+		e, err := Embed(c.g, c.h)
+		if err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if err := e.Verify(); err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if d := e.Dilation(); d > c.maxCost {
+			t.Errorf("%s -> %s: dilation %d exceeds expected ceiling %d (%s)", c.g, c.h, d, c.maxCost, e.Strategy)
+		}
+	}
+}

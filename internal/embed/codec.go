@@ -1,0 +1,75 @@
+package embed
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"torusmesh/internal/grid"
+)
+
+// Encoded is the JSON form of an embedding: enough to reconstruct the
+// node map without the constructing code. Table holds, for each guest
+// row-major index, the host row-major index.
+type Encoded struct {
+	GuestKind  string `json:"guest_kind"`
+	GuestShape []int  `json:"guest_shape"`
+	HostKind   string `json:"host_kind"`
+	HostShape  []int  `json:"host_shape"`
+	Strategy   string `json:"strategy"`
+	Predicted  int    `json:"predicted_dilation"`
+	Measured   int    `json:"measured_dilation"`
+	Table      []int  `json:"table"`
+}
+
+// Export serializes the embedding (including its materialized table and
+// measured dilation) as JSON.
+func Export(e *Embedding) ([]byte, error) {
+	enc := Encoded{
+		GuestKind:  e.From.Kind.String(),
+		GuestShape: e.From.Shape,
+		HostKind:   e.To.Kind.String(),
+		HostShape:  e.To.Shape,
+		Strategy:   e.Strategy,
+		Predicted:  e.Predicted,
+		Measured:   e.Dilation(),
+		Table:      e.Table(),
+	}
+	return json.MarshalIndent(enc, "", "  ")
+}
+
+// Import reconstructs an embedding from its JSON form and verifies it.
+func Import(data []byte) (*Embedding, error) {
+	var enc Encoded
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, fmt.Errorf("embed: decoding: %v", err)
+	}
+	gk, err := grid.ParseKind(enc.GuestKind)
+	if err != nil {
+		return nil, err
+	}
+	hk, err := grid.ParseKind(enc.HostKind)
+	if err != nil {
+		return nil, err
+	}
+	g, err := grid.NewSpec(gk, grid.Shape(enc.GuestShape))
+	if err != nil {
+		return nil, fmt.Errorf("embed: guest: %v", err)
+	}
+	h, err := grid.NewSpec(hk, grid.Shape(enc.HostShape))
+	if err != nil {
+		return nil, fmt.Errorf("embed: host: %v", err)
+	}
+	e, err := FromTable(g, h, enc.Strategy, enc.Predicted, enc.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Verify(); err != nil {
+		return nil, fmt.Errorf("embed: imported table invalid: %v", err)
+	}
+	if enc.Measured > 0 {
+		if d := e.Dilation(); d != enc.Measured {
+			return nil, fmt.Errorf("embed: imported table measures dilation %d but file claims %d", d, enc.Measured)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,204 @@
+// Package embed defines the embedding abstraction of Definition 1 in
+// Ma & Tao: an injection of the nodes of a guest graph G into the nodes
+// of a host graph H of the same size, together with its dilation cost
+// (the maximum host distance between the images of adjacent guest nodes).
+// It also provides the composition, identity and coordinate-permutation
+// embeddings the paper uses as glue between construction steps.
+package embed
+
+import (
+	"fmt"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+)
+
+// Embedding is an injection from the nodes of From to the nodes of To.
+// Map must be a pure function; nodes passed to Map are not retained.
+type Embedding struct {
+	From, To grid.Spec
+	// Strategy names the construction that produced the embedding, e.g.
+	// "f_L", "expansion/H_V", "square-chain".
+	Strategy string
+	// Predicted is the dilation cost guaranteed by the paper's theorem
+	// for this construction, or 0 if no guarantee is recorded.
+	Predicted int
+	mapFn     func(grid.Node) grid.Node
+}
+
+// New builds an embedding from a node map. The sizes of the two specs
+// must agree (the paper studies same-size embeddings only).
+func New(from, to grid.Spec, strategy string, predicted int, fn func(grid.Node) grid.Node) (*Embedding, error) {
+	if err := from.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("embed: guest: %v", err)
+	}
+	if err := to.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("embed: host: %v", err)
+	}
+	if from.Size() != to.Size() {
+		return nil, fmt.Errorf("embed: guest %s has %d nodes but host %s has %d; sizes must match",
+			from, from.Size(), to, to.Size())
+	}
+	return &Embedding{From: from, To: to, Strategy: strategy, Predicted: predicted, mapFn: fn}, nil
+}
+
+// Map returns the image of guest node n in the host.
+func (e *Embedding) Map(n grid.Node) grid.Node { return e.mapFn(n) }
+
+// MapIndex maps a guest row-major index to the host row-major index.
+func (e *Embedding) MapIndex(x int) int {
+	return e.To.Shape.Index(e.mapFn(e.From.Shape.NodeAt(x)))
+}
+
+// Table materializes the embedding as a slice indexed by guest row-major
+// index holding host row-major indices.
+func (e *Embedding) Table() []int {
+	n := e.From.Size()
+	t := make([]int, n)
+	for x := 0; x < n; x++ {
+		t[x] = e.MapIndex(x)
+	}
+	return t
+}
+
+// Dilation measures the exact dilation cost by walking every edge of the
+// guest and taking the maximum host distance between endpoint images
+// (closed-form distances of Lemmas 5 and 6).
+func (e *Embedding) Dilation() int {
+	max := 0
+	e.From.VisitEdges(func(a, b grid.Node) {
+		d := e.To.Distance(e.mapFn(a.Clone()), e.mapFn(b.Clone()))
+		if d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// AverageDilation returns the mean host distance over all guest edges, a
+// secondary proximity measure used in the experiment reports.
+func (e *Embedding) AverageDilation() float64 {
+	sum, count := 0, 0
+	e.From.VisitEdges(func(a, b grid.Node) {
+		sum += e.To.Distance(e.mapFn(a.Clone()), e.mapFn(b.Clone()))
+		count++
+	})
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// Verify checks that the embedding is a well-formed injection: every
+// image is in bounds and no two guest nodes share an image. Since guest
+// and host have equal size, injectivity implies bijectivity.
+func (e *Embedding) Verify() error {
+	n := e.From.Size()
+	seen := make([]bool, n)
+	for x := 0; x < n; x++ {
+		img := e.mapFn(e.From.Shape.NodeAt(x))
+		if !img.InBounds(e.To.Shape) {
+			return fmt.Errorf("embed: %s: image %s of node %s out of bounds for host %s",
+				e.Strategy, img, e.From.Shape.NodeAt(x), e.To)
+		}
+		idx := e.To.Shape.Index(img)
+		if seen[idx] {
+			return fmt.Errorf("embed: %s: host node %s has two pre-images (second is %s)",
+				e.Strategy, img, e.From.Shape.NodeAt(x))
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// CheckPredicted verifies that the measured dilation does not exceed the
+// recorded guarantee. It returns the measured dilation.
+func (e *Embedding) CheckPredicted() (int, error) {
+	d := e.Dilation()
+	if e.Predicted > 0 && d > e.Predicted {
+		return d, fmt.Errorf("embed: %s: measured dilation %d exceeds guaranteed %d for %s -> %s",
+			e.Strategy, d, e.Predicted, e.From, e.To)
+	}
+	return d, nil
+}
+
+// Compose chains two embeddings: first maps G into an intermediate graph,
+// second maps that graph into the final host. The intermediate specs must
+// match exactly. Dilation costs multiply (each unit step in G spreads to
+// at most first.Predicted steps in the middle graph, each of which
+// spreads to at most second.Predicted steps in the host), so the
+// composite guarantee is the product when both parts carry one.
+func Compose(first, second *Embedding) (*Embedding, error) {
+	if first.To.Kind != second.From.Kind || !first.To.Shape.Equal(second.From.Shape) {
+		return nil, fmt.Errorf("embed: cannot compose %s -> %s with %s -> %s: intermediate specs differ",
+			first.From, first.To, second.From, second.To)
+	}
+	pred := 0
+	if first.Predicted > 0 && second.Predicted > 0 {
+		pred = first.Predicted * second.Predicted
+	}
+	strategy := first.Strategy + " ∘ " + second.Strategy
+	return New(first.From, second.To, strategy, pred, func(n grid.Node) grid.Node {
+		return second.mapFn(first.mapFn(n))
+	})
+}
+
+// ComposeAll chains a pipeline of embeddings left to right.
+func ComposeAll(steps ...*Embedding) (*Embedding, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("embed: empty composition")
+	}
+	acc := steps[0]
+	for _, next := range steps[1:] {
+		var err error
+		acc, err = Compose(acc, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Identity returns the identity embedding between two graphs of the same
+// shape. Embedding a mesh in the same-shape torus (or any graph in one of
+// the identical kind) has unit dilation (Lemma 36's easy direction).
+func Identity(from, to grid.Spec) (*Embedding, error) {
+	if !from.Shape.Equal(to.Shape) {
+		return nil, fmt.Errorf("embed: identity requires equal shapes, got %s and %s", from.Shape, to.Shape)
+	}
+	return New(from, to, "identity", 1, func(n grid.Node) grid.Node { return n.Clone() })
+}
+
+// Permute returns the coordinate-permutation embedding of G into the
+// graph of the same kind whose shape is Apply(p, G.Shape). It is a graph
+// isomorphism, hence has unit dilation; the paper uses it as the π, α, τ
+// and β glue steps of Sections 4 and 5.
+func Permute(from grid.Spec, p perm.Perm, toKind grid.Kind) (*Embedding, error) {
+	if len(p) != from.Dim() {
+		return nil, fmt.Errorf("embed: permutation length %d does not match dimension %d", len(p), from.Dim())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	toShape := grid.Shape(perm.Apply(p, from.Shape))
+	to, err := grid.NewSpec(toKind, toShape)
+	if err != nil {
+		return nil, err
+	}
+	pc := append(perm.Perm(nil), p...)
+	return New(from, to, "permute", 1, func(n grid.Node) grid.Node {
+		return grid.Node(perm.Apply(pc, n))
+	})
+}
+
+// FromTable builds an embedding from an explicit guest-index to
+// host-index table.
+func FromTable(from, to grid.Spec, strategy string, predicted int, table []int) (*Embedding, error) {
+	if len(table) != from.Size() {
+		return nil, fmt.Errorf("embed: table has %d entries, want %d", len(table), from.Size())
+	}
+	t := append([]int(nil), table...)
+	return New(from, to, strategy, predicted, func(n grid.Node) grid.Node {
+		return to.Shape.NodeAt(t[from.Shape.Index(n)])
+	})
+}

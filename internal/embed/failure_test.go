@@ -1,0 +1,86 @@
+package embed
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+)
+
+// Failure-injection tests: deliberately corrupt valid embeddings and
+// check the measurement/verification machinery notices.
+
+func TestCorruptedTableRaisesDilation(t *testing.T) {
+	from := grid.LineSpec(9)
+	to := grid.MeshSpec(3, 3)
+	// The f_L-style snake has dilation 1; swapping two distant entries
+	// must raise the measured dilation.
+	table := []int{0, 1, 2, 5, 4, 3, 6, 7, 8} // boustrophedon over 3x3
+	good, err := FromTable(from, to, "snake", 1, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := good.Dilation(); d != 1 {
+		t.Fatalf("baseline snake dilation = %d, want 1", d)
+	}
+	corrupt := append([]int(nil), table...)
+	corrupt[0], corrupt[8] = corrupt[8], corrupt[0]
+	bad, err := FromTable(from, to, "corrupt", 1, corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bad.Dilation(); d <= 1 {
+		t.Errorf("corrupted table still measures dilation %d", d)
+	}
+	if _, err := bad.CheckPredicted(); err == nil {
+		t.Error("CheckPredicted accepted a broken guarantee")
+	}
+}
+
+func TestDuplicateTableFailsVerify(t *testing.T) {
+	from := grid.LineSpec(4)
+	to := grid.LineSpec(4)
+	e, err := FromTable(from, to, "dup", 0, []int{0, 1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err == nil {
+		t.Error("duplicate table entry passed verification")
+	}
+}
+
+func TestComposePropagatesCorruption(t *testing.T) {
+	a := grid.LineSpec(6)
+	b := grid.LineSpec(6)
+	rev, _ := New(a, b, "reverse", 1, func(n grid.Node) grid.Node {
+		return grid.Node{5 - n[0]}
+	})
+	// A "shift" that is not injective on the composed domain.
+	clamp, _ := New(b, b, "clamp", 1, func(n grid.Node) grid.Node {
+		v := n[0]
+		if v > 3 {
+			v = 3
+		}
+		return grid.Node{v}
+	})
+	c, err := Compose(rev, clamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err == nil {
+		t.Error("composed non-injection passed verification")
+	}
+}
+
+func TestPermutationEmbeddingKindChange(t *testing.T) {
+	// Permute can retarget the kind; a torus permuted into a mesh spec
+	// is NOT distance-preserving, and Dilation must reflect that.
+	from := grid.TorusSpec(5, 2)
+	e, err := Permute(from, perm.Identity(2), grid.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 4 {
+		t.Errorf("torus(5x2) identity into mesh: dilation %d, want 4 (wrap edge stretches)", d)
+	}
+}

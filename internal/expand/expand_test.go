@@ -1,0 +1,241 @@
+package expand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"torusmesh/internal/grid"
+)
+
+func TestFactorValidate(t *testing.T) {
+	L := grid.Shape{6, 8, 80}
+	M := grid.Shape{2, 4, 3, 8, 5, 4}
+	// The worked example below Definition 30.
+	f := Factor{{2, 3}, {8}, {4, 5, 4}}
+	if err := f.Validate(L, M); err != nil {
+		t.Fatalf("paper example rejected: %v", err)
+	}
+	// A second valid factor from the paper.
+	f2 := Factor{{3, 2}, {8}, {5, 4, 4}}
+	if err := f2.Validate(L, M); err != nil {
+		t.Fatalf("second paper factor rejected: %v", err)
+	}
+	// Wrong product.
+	bad := Factor{{2, 4}, {8}, {4, 5, 4}}
+	if err := bad.Validate(L, M); err == nil {
+		t.Error("factor with wrong product accepted")
+	}
+	// Not a permutation of M.
+	bad2 := Factor{{6}, {8}, {4, 5, 4}}
+	if err := bad2.Validate(L, M); err == nil {
+		t.Error("factor not matching M accepted")
+	}
+}
+
+func TestFindPaperExample(t *testing.T) {
+	L := grid.Shape{6, 8, 80}
+	M := grid.Shape{2, 4, 3, 8, 5, 4}
+	f, ok := Find(L, M)
+	if !ok {
+		t.Fatal("Find failed on the paper's worked example")
+	}
+	if err := f.Validate(L, M); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindRejectsNonExpansion(t *testing.T) {
+	if _, ok := Find(grid.Shape{6, 6}, grid.Shape{4, 3, 3}); ok {
+		t.Error("found a factor where none exists (4*3*3 = 36 but 4 does not divide 6)")
+	}
+	if _, ok := Find(grid.Shape{5, 7}, grid.Shape{5, 5, 7}); ok {
+		t.Error("found a factor despite size mismatch")
+	}
+}
+
+func TestFindEvenFirst(t *testing.T) {
+	// The Section 4.1 example: L = (6,12), M = (6,3,2,2). The factor
+	// ((2,3),(6,2)) is even-first; ((6),(3,2,2)) is not.
+	L := grid.Shape{6, 12}
+	M := grid.Shape{6, 3, 2, 2}
+	f, ok := FindEvenFirst(L, M)
+	if !ok {
+		t.Fatal("FindEvenFirst failed")
+	}
+	if err := f.Validate(L, M); err != nil {
+		t.Fatal(err)
+	}
+	if !f.EvenFirst() {
+		t.Fatalf("factor %v is not even-first", f)
+	}
+	// No even-first factor exists when a dimension is odd.
+	if _, ok := FindEvenFirst(grid.Shape{9, 4}, grid.Shape{3, 3, 2, 2}); ok {
+		t.Error("even-first factor found for odd dimension 9")
+	}
+	// No even-first factor when a dimension must stay whole.
+	if _, ok := FindEvenFirst(grid.Shape{2, 6}, grid.Shape{2, 2, 3}); ok {
+		t.Error("even-first factor found although l1=2 cannot split into two components")
+	}
+}
+
+func TestHypercubeFactor(t *testing.T) {
+	f, ok := HypercubeFactor(grid.Shape{4, 8, 2})
+	if !ok {
+		t.Fatal("HypercubeFactor failed on power-of-two shape")
+	}
+	if err := f.Validate(grid.Shape{4, 8, 2}, grid.Hypercube(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := HypercubeFactor(grid.Shape{6, 2}); ok {
+		t.Error("HypercubeFactor accepted non-power-of-two length 6")
+	}
+}
+
+// TestFigure11Embeddings verifies the three embedding functions of
+// Figure 11: L = (4,6), M = (2,2,2,3), V = ((2,2),(2,3)). Here the flat
+// factor equals M so π is the identity.
+func TestFigure11Embeddings(t *testing.T) {
+	f := Factor{{2, 2}, {2, 3}}
+	L := grid.Shape{4, 6}
+	M := grid.Shape{2, 2, 2, 3}
+	if err := f.Validate(L, M); err != nil {
+		t.Fatal(err)
+	}
+	fv := FV(f)
+	// F_V(1,4) = f_(2,2)(1) ∘ f_(2,3)(4) = (0,1) ∘ (1,1).
+	if got := fv(grid.Node{1, 4}); !got.Equal(grid.Node{0, 1, 1, 1}) {
+		t.Errorf("F_V(1,4) = %s, want (0,1,1,1)", got)
+	}
+	gv := GV(f)
+	// G_V(3,1) = g_(2,2)(3) ∘ g_(2,3)(1). g_(2,2) = f∘t_4: t_4(3)=1,
+	// f(1) = (0,1). g_(2,3)(1) = f(t_6(1)) = f(2) = (0,2).
+	if got := gv(grid.Node{3, 1}); !got.Equal(grid.Node{0, 1, 0, 2}) {
+		t.Errorf("G_V(3,1) = %s, want (0,1,0,2)", got)
+	}
+	hv := HV(f)
+	// H_V(0,0) = h_(2,2)(0) ∘ h_(2,3)(0) = r values: r_(2,2)(0) = (1,0),
+	// r_(2,3)(0) = (1,0).
+	if got := hv(grid.Node{0, 0}); !got.Equal(grid.Node{1, 0, 1, 0}) {
+		t.Errorf("H_V(0,0) = %s, want (1,0,1,0)", got)
+	}
+}
+
+// TestTheorem32Dilations sweeps guest/host kind combinations over several
+// expandable shape pairs and asserts the exact dilation costs of
+// Theorem 32.
+func TestTheorem32Dilations(t *testing.T) {
+	type pair struct{ L, M grid.Shape }
+	pairs := []pair{
+		{grid.Shape{4, 6}, grid.Shape{2, 2, 2, 3}},
+		{grid.Shape{4, 2, 3}, grid.Shape{2, 2, 2, 3}},
+		{grid.Shape{8, 9}, grid.Shape{2, 4, 3, 3}},
+		{grid.Shape{12}, grid.Shape{3, 4}},
+		{grid.Shape{6, 12}, grid.Shape{6, 3, 2, 2}},
+		{grid.Shape{16}, grid.Shape{2, 2, 2, 2}},
+		{grid.Shape{9, 25}, grid.Shape{3, 3, 5, 5}},
+	}
+	for _, p := range pairs {
+		for _, gk := range []grid.Kind{grid.Mesh, grid.Torus} {
+			for _, hk := range []grid.Kind{grid.Mesh, grid.Torus} {
+				g := grid.MustSpec(gk, p.L)
+				h := grid.MustSpec(hk, p.M)
+				e, err := Embed(g, h)
+				if err != nil {
+					t.Errorf("%s -> %s: %v", g, h, err)
+					continue
+				}
+				if err := e.Verify(); err != nil {
+					t.Errorf("%s -> %s: %v", g, h, err)
+					continue
+				}
+				d := e.Dilation()
+				if d > e.Predicted {
+					t.Errorf("%s -> %s: dilation %d exceeds prediction %d", g, h, d, e.Predicted)
+				}
+				switch {
+				case gk == grid.Mesh && d != 1:
+					t.Errorf("%s -> %s: mesh guest dilation %d, want 1", g, h, d)
+				case gk == grid.Torus && hk == grid.Torus && d != 1:
+					t.Errorf("%s -> %s: torus->torus dilation %d, want 1", g, h, d)
+				case gk == grid.Torus && hk == grid.Mesh && d > 2:
+					t.Errorf("%s -> %s: torus->mesh dilation %d, want <= 2", g, h, d)
+				}
+			}
+		}
+	}
+}
+
+// TestEvenTorusIntoMeshUnitDilation reproduces the Section 4.1 factor
+// ablation: a (6,12)-torus embeds in a (6,3,2,2)-mesh with dilation 1
+// when the even-first factor is used (and Embed finds it automatically).
+func TestEvenTorusIntoMeshUnitDilation(t *testing.T) {
+	g := grid.TorusSpec(6, 12)
+	h := grid.MeshSpec(6, 3, 2, 2)
+	e, err := Embed(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 1 {
+		t.Errorf("dilation = %d, want 1 via even-first H_V", d)
+	}
+	// The non-even-first factor gives dilation 2 (the paper's contrast).
+	f := Factor{{6}, {3, 2, 2}}
+	e2, err := WithFactor(g, h, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e2.Dilation(); d != 2 {
+		t.Errorf("G_V factor ((6),(3,2,2)) dilation = %d, want 2", d)
+	}
+}
+
+// TestOddTorusIntoMeshDilation2 checks the optimal dilation-2 case:
+// a torus of odd size into a mesh can never achieve dilation 1
+// (Theorem 32 iii), and our embedding achieves exactly 2.
+func TestOddTorusIntoMeshDilation2(t *testing.T) {
+	g := grid.TorusSpec(9, 25)
+	h := grid.MeshSpec(3, 3, 5, 5)
+	e, err := Embed(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Dilation(); d != 2 {
+		t.Errorf("odd torus -> mesh dilation = %d, want 2", d)
+	}
+}
+
+func TestEmbedRejections(t *testing.T) {
+	if _, err := Embed(grid.MeshSpec(4, 6), grid.MeshSpec(4, 6, 2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Embed(grid.MeshSpec(2, 2, 2), grid.MeshSpec(4, 2)); err == nil {
+		t.Error("dimension-lowering pair accepted by expansion")
+	}
+	if _, err := Embed(grid.MeshSpec(6, 6), grid.MeshSpec(4, 3, 3)); err == nil {
+		t.Error("non-expansion pair accepted")
+	}
+}
+
+// TestPropertyHypercubeTargets: any mesh with power-of-two lengths embeds
+// in the hypercube of the same size with unit dilation (Corollary 34).
+func TestPropertyHypercubeTargets(t *testing.T) {
+	err := quick.Check(func(raw [3]uint8) bool {
+		exps := [3]int{int(raw[0]%2) + 2, int(raw[1]%2) + 2, int(raw[2]%2) + 2}
+		L := grid.Shape{1 << exps[0], 1 << exps[1], 1 << exps[2]}
+		total := exps[0] + exps[1] + exps[2]
+		H := grid.Hypercube(total)
+		for _, gk := range []grid.Kind{grid.Mesh, grid.Torus} {
+			e, err := Embed(grid.MustSpec(gk, L), grid.MustSpec(grid.Torus, H))
+			if err != nil || e.Verify() != nil || e.Dilation() != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"torusmesh/internal/core"
+	"torusmesh/internal/gray"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/ham"
+	"torusmesh/internal/optimal"
+	"torusmesh/internal/radix"
+	"torusmesh/internal/render"
+)
+
+// E01Preliminaries reproduces the worked facts around Figures 1 and 2:
+// the (4,2,3)-torus and (4,2,3)-mesh, their sizes, degrees, edge counts,
+// and the example distances δt((0,0,1),(3,0,0)) = 2, δm = 4.
+func E01Preliminaries(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "graph\tnodes\tedges\tmax degree")
+	for _, sp := range []grid.Spec{grid.TorusSpec(4, 2, 3), grid.MeshSpec(4, 2, 3)} {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", sp, sp.Size(), sp.EdgeCount(), sp.MaxDegree())
+	}
+	tw.Flush()
+	a, b := grid.Node{0, 0, 1}, grid.Node{3, 0, 0}
+	fmt.Fprintf(w, "distance %s-%s: torus (Lemma 5) = %d, mesh (Lemma 6) = %d  [paper: 2 and 4]\n",
+		a, b, grid.DistanceTorus(grid.Shape{4, 2, 3}, a, b), grid.DistanceMesh(grid.Shape{4, 2, 3}, a, b))
+	// Formula vs BFS on both graphs.
+	for _, sp := range []grid.Spec{grid.TorusSpec(4, 2, 3), grid.MeshSpec(4, 2, 3)} {
+		if err := grid.Build(sp).CheckDistances(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "closed-form distances match BFS on both graphs: ok")
+	return nil
+}
+
+// E02SpreadExample reproduces the structure of Figure 3: a bijection
+// f : [9] -> Ω(3,3) whose acyclic spreads are (δm 2, δt 1) and cyclic
+// spreads are (δm 3, δt 2).
+func E02SpreadExample(w io.Writer) error {
+	L := radix.Base{3, 3}
+	seq := radix.Sequence{
+		{0, 0}, {0, 1}, {0, 2}, {2, 2}, {2, 0}, {2, 1}, {1, 1}, {1, 0}, {1, 2},
+	}
+	if err := radix.CheckBijection(L, seq); err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "i\tf(i)\tδm(f(i),f(i+1 mod 9))\tδt(f(i),f(i+1 mod 9))")
+	for i, v := range seq {
+		next := seq[(i+1)%len(seq)]
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\n", i, v, radix.DeltaM(L, v, next), radix.DeltaT(L, v, next))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "acyclic spreads: δm=%d δt=%d   cyclic spreads: δm=%d δt=%d  [paper: 2,1 and 3,2]\n",
+		radix.SpreadAcyclicM(L, seq), radix.SpreadAcyclicT(L, seq),
+		radix.SpreadCyclicM(L, seq), radix.SpreadCyclicT(L, seq))
+	return nil
+}
+
+// E03ReflectionAblation reproduces Figure 4: the naive radix sequence P
+// for L=(4,2,3) has δm-spread > 1; reflecting the odd segments (P' = f_L)
+// brings the spread to 1.
+func E03ReflectionAblation(w io.Writer) error {
+	L := radix.Base{4, 2, 3}
+	p := gray.PSeq(L)
+	f := gray.FSeq(L)
+	tw := table(w)
+	fmt.Fprintln(tw, "x\tP(x)\tP'(x)=f_L(x)")
+	for x := range p {
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", x, p[x], f[x])
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "acyclic δm-spread: P = %d, P' = %d  [reflection repairs the carry jumps]\n",
+		radix.SpreadAcyclicM(L, p), radix.SpreadAcyclicM(L, f))
+	return nil
+}
+
+// E04BasicSequences reproduces Figure 9: the three sequences for
+// L = (4,2,3), n = 24, with their spreads.
+func E04BasicSequences(w io.Writer) error {
+	L := radix.Base{4, 2, 3}
+	f, g, h := gray.FSeq(L), gray.GSeq(L), gray.HSeq(L)
+	tw := table(w)
+	fmt.Fprintln(tw, "x\tf_L(x)\tg_L(x)\th_L(x)")
+	for x := range f {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", x, f[x], g[x], h[x])
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "f_L: acyclic δm=%d δt=%d (Lemmas 11-12 claim 1,1)\n",
+		radix.SpreadAcyclicM(L, f), radix.SpreadAcyclicT(L, f))
+	fmt.Fprintf(w, "g_L: cyclic δm=%d (Lemma 16 claims <=2)\n", radix.SpreadCyclicM(L, g))
+	fmt.Fprintf(w, "h_L: cyclic δm=%d δt=%d (Lemmas 23/27 claim 1,1 for even l1)\n",
+		radix.SpreadCyclicM(L, h), radix.SpreadCyclicT(L, h))
+
+	// Figure 5: r_(4,3) walks down the first column then sweeps the
+	// remaining (4,2)-mesh with f; drawn as sequence positions.
+	fmt.Fprintln(w, "\nFigure 5 — r_L for L=(4,3), even l1 (cells are sequence positions):")
+	fmt.Fprint(w, renderSequence(radix.Base{4, 3}, gray.R))
+	// Figure 8: for odd l1 the cyclic wrap of r_L uses the torus edge
+	// between the top of the first and last columns.
+	fmt.Fprintln(w, "Figure 8 — r_L for L=(3,3), odd l1 (positions 0 and 8 are torus neighbors):")
+	fmt.Fprint(w, renderSequence(radix.Base{3, 3}, gray.R))
+	return nil
+}
+
+// renderSequence draws a 2-dimensional base with each node labelled by
+// its position in the sequence.
+func renderSequence(L radix.Base, seq func(radix.Base, int) grid.Node) string {
+	n := grid.Shape(L).Size()
+	pos := make(map[int]int, n)
+	for x := 0; x < n; x++ {
+		pos[grid.Shape(L).Index(seq(L, x))] = x
+	}
+	return render.Grid(grid.Shape(L), func(node grid.Node) string {
+		return fmt.Sprintf("%d", pos[grid.Shape(L).Index(node)])
+	})
+}
+
+// E05LineRingInMesh reproduces Figure 10: embedding a line and a ring of
+// size 24 in the (4,2,3)-mesh.
+func E05LineRingInMesh(w io.Writer) error {
+	mesh := grid.MeshSpec(4, 2, 3)
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\tstrategy\tdilation\tpaper")
+	line, err := core.Embed(grid.LineSpec(24), mesh)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "line(24)\t%s\t%d\t1 (Theorem 13)\n", line.Strategy, line.Dilation())
+	ring, err := core.Embed(grid.RingSpec(24), mesh)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "ring(24)\t%s\t%d\t1 (Theorem 24)\n", ring.Strategy, ring.Dilation())
+	// The g_L embedding achieves 2 (Figure 10e).
+	gl, err := core.Embed(grid.RingSpec(15), grid.MeshSpec(3, 5))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "ring(15) in mesh(3x5)\t%s\t%d\t2 (Theorem 17, optimal for odd size)\n", gl.Strategy, gl.Dilation())
+	tw.Flush()
+	// The layout drawings of Figure 10(d) and 10(f): host nodes labelled
+	// by their guest pre-image.
+	fmt.Fprintln(w, "\nFigure 10(d) — line via f_L (planes are the third coordinate):")
+	fmt.Fprint(w, render.Embedding(line))
+	fmt.Fprintln(w, "Figure 10(f) — ring via π∘h_L*:")
+	fmt.Fprint(w, render.Embedding(ring))
+	return nil
+}
+
+// E06BasicMatrix sweeps the Section 3 cases: guest line/ring into every
+// host kind, with brute-force optima for tiny instances.
+func E06BasicMatrix(w io.Writer) error {
+	type row struct {
+		g, h grid.Spec
+	}
+	rows := []row{
+		{grid.LineSpec(12), grid.MeshSpec(3, 4)},
+		{grid.LineSpec(12), grid.TorusSpec(3, 4)},
+		{grid.LineSpec(15), grid.MeshSpec(3, 5)},
+		{grid.RingSpec(12), grid.TorusSpec(3, 4)},
+		{grid.RingSpec(15), grid.TorusSpec(3, 5)},
+		{grid.RingSpec(12), grid.MeshSpec(3, 4)},
+		{grid.RingSpec(15), grid.MeshSpec(3, 5)},
+		{grid.RingSpec(12), grid.LineSpec(12)},
+		{grid.RingSpec(16), grid.MeshSpec(2, 2, 4)},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tstrategy\tguarantee\tmeasured\toptimal(tiny)")
+	for _, r := range rows {
+		e, err := core.Embed(r.g, r.h)
+		if err != nil {
+			return err
+		}
+		if err := e.Verify(); err != nil {
+			return err
+		}
+		optStr := "-"
+		if r.g.Size() <= 16 {
+			if opt, err := optimal.MinDilation(r.g, r.h, 16); err == nil {
+				optStr = fmt.Sprintf("%d", opt)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\n", r.g, r.h, e.Strategy, e.Predicted, e.Dilation(), optStr)
+	}
+	tw.Flush()
+	return nil
+}
+
+// E07Hamiltonian reproduces Corollaries 18, 25 and 29: construction and
+// verification of circuits, plus exhaustive cross-checks on small
+// instances.
+func E07Hamiltonian(w io.Writer) error {
+	specs := []grid.Spec{
+		grid.TorusSpec(3, 3), grid.TorusSpec(4, 2, 3), grid.TorusSpec(3, 3, 3),
+		grid.RingSpec(7), grid.MeshSpec(4, 2, 3), grid.MeshSpec(3, 4),
+		grid.MeshSpec(3, 3), grid.MeshSpec(3, 5), grid.LineSpec(6),
+		grid.MeshSpec(2, 2, 3),
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "graph\thas circuit (classification)\tconstructed\texhaustive check")
+	for _, sp := range specs {
+		has := ham.HasCircuit(sp)
+		constructed := "-"
+		if circuit, err := ham.Circuit(sp); err == nil {
+			if err := ham.VerifyCircuit(sp, circuit); err != nil {
+				return fmt.Errorf("%s: %v", sp, err)
+			}
+			constructed = "valid"
+		} else if has {
+			return fmt.Errorf("%s: classified as Hamiltonian but construction failed: %v", sp, err)
+		}
+		exh := "-"
+		if sp.Size() <= 24 {
+			_, found := ham.ExhaustiveCircuit(sp)
+			if found != has {
+				return fmt.Errorf("%s: exhaustive=%v disagrees with classification=%v", sp, found, has)
+			}
+			exh = fmt.Sprintf("agrees (%v)", found)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%s\t%s\n", sp, has, constructed, exh)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "every torus: circuit (Cor 29); even mesh dim>1: circuit (Cor 25); odd mesh: none (Cor 18)")
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package experiments regenerates every figure and quantitative claim of
+// Ma & Tao as text tables: the worked figures (1-12), the dilation
+// guarantees of each theorem (measured against the implementation), the
+// Section 5 comparison with known optimal results, the appendix ε table,
+// and the network-simulation demonstration of the paper's motivation.
+// The experiment index lives in DESIGN.md; outputs are recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment pairs an id (E01..E19) with a title and a generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns the experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E01", "Figures 1-2: the (4,2,3)-torus and (4,2,3)-mesh", E01Preliminaries},
+		{"E02", "Figure 3: δm/δt distances and spreads of a sequence over Ω(3,3)", E02SpreadExample},
+		{"E03", "Figure 4: naive sequence P vs reflected P' for L=(4,2,3)", E03ReflectionAblation},
+		{"E04", "Figure 9: the sequences f_L, g_L, h_L for L=(4,2,3)", E04BasicSequences},
+		{"E05", "Figure 10: line and ring of size 24 in the (4,2,3)-mesh", E05LineRingInMesh},
+		{"E06", "Theorems 13/17/24/28: basic embedding dilation matrix", E06BasicMatrix},
+		{"E07", "Corollaries 18/25/29: Hamiltonian circuits", E07Hamiltonian},
+		{"E08", "Figure 11: F_V, G_V, H_V for L=(4,6), M=(2,2,2,3)", E08ExpansionExample},
+		{"E09", "Theorem 32: increasing-dimension matrix and factor ablation", E09IncreasingMatrix},
+		{"E10", "Theorem 33 / Corollary 34: embeddings into hypercubes", E10Hypercube},
+		{"E11", "Theorem 39 / Corollary 40: simple reductions", E11SimpleReduction},
+		{"E12", "Figure 12 / Theorem 43: general reductions", E12GeneralReduction},
+		{"E13", "Theorem 48: square lowering, divisible dimensions", E13SquareLoweringDivisible},
+		{"E14", "Theorem 51: square lowering via chains", E14SquareLoweringChain},
+		{"E15", "Theorems 52/53: square increasing dimension", E15SquareIncreasing},
+		{"E16", "Section 5: comparison with known optimal results", E16Literature},
+		{"E17", "Appendix: the ε_m sequence", E17Epsilon},
+		{"E18", "Section 1 motivation: dilation drives network latency", E18Netsim},
+		{"E19", "Theorem 47: lower bounds vs optimal vs ours", E19LowerBounds},
+		{"E20", "Extension: coverage census over all same-size shape pairs", E20Census},
+		{"E21", "Extension: many-to-one simulations (KA88 contrast)", E21Contraction},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll writes every experiment to w, separated by headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %v", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// table starts a tabwriter over w.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

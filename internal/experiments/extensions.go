@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/contract"
+	"torusmesh/internal/core"
+	"torusmesh/internal/grid"
+)
+
+// E20Census measures how much of the same-size embedding space the
+// library covers: for each size, every ordered pair of canonical shapes
+// and kinds is attempted, and the strategies are tallied. With the
+// prime-refinement extension the coverage is total; the table also shows
+// how often each of the paper's explicit constructions carries the load.
+func E20Census(w io.Writer) error {
+	embedFn := func(g, h grid.Spec) (string, error) {
+		e, err := core.Embed(g, h)
+		if err != nil {
+			return "", err
+		}
+		if verr := e.Verify(); verr != nil {
+			return "", fmt.Errorf("%s -> %s: %v", g, h, verr)
+		}
+		if _, perr := e.CheckPredicted(); perr != nil {
+			return "", perr
+		}
+		return e.Strategy, nil
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "size\tcanonical shapes\tordered pairs\tembeddable\tcoverage")
+	sizes := []int{16, 24, 36, 60, 64}
+	censuses := make([]catalog.Census, 0, len(sizes))
+	for _, n := range sizes {
+		c := catalog.Coverage(n, 0, embedFn)
+		censuses = append(censuses, c)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f%%\n", c.Size, c.Shapes, c.Pairs, c.Embeddable,
+			100*float64(c.Embeddable)/float64(c.Pairs))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nstrategy share (all sizes pooled):")
+	pooled := map[string]int{}
+	total := 0
+	for _, c := range censuses {
+		for k, v := range c.ByStrategy {
+			pooled[k] += v
+			total += v
+		}
+	}
+	tw = table(w)
+	fmt.Fprintln(tw, "strategy\tpairs\tshare")
+	for _, k := range sortedKeys(pooled) {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", k, pooled[k], 100*float64(pooled[k])/float64(total))
+	}
+	tw.Flush()
+	return nil
+}
+
+// E21Contraction demonstrates the many-to-one extension (the KA88-style
+// simulations the paper contrasts with): larger guests simulated on
+// smaller hosts by block contraction composed with the paper's
+// embeddings, keeping constant load and small dilation.
+func E21Contraction(w io.Writer) error {
+	cases := []struct{ guest, host grid.Spec }{
+		{grid.MeshSpec(8, 6), grid.MeshSpec(4, 3)},
+		{grid.TorusSpec(16, 16), grid.TorusSpec(8, 8)},
+		{grid.MeshSpec(16, 12), grid.MeshSpec(4, 2, 3)},
+		{grid.MeshSpec(32, 32), grid.MeshSpec(2, 2, 2, 2, 2, 2)},
+		{grid.TorusSpec(12, 12), grid.RingSpec(36)},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tload\tdilation\tstrategy")
+	for _, c := range cases {
+		sim, err := contract.Simulate(c.guest, c.host)
+		if err != nil {
+			return fmt.Errorf("%s -> %s: %v", c.guest, c.host, err)
+		}
+		if err := sim.Verify(); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n", c.guest, c.host, sim.Load, sim.Dilation(), sim.Strategy)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "constant load with small dilation: the many-to-one relaxation of Definition 1 the paper attributes to KA88")
+	return nil
+}

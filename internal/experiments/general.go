@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"torusmesh/internal/core"
+	"torusmesh/internal/expand"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/reduce"
+)
+
+// E08ExpansionExample reproduces Figure 11: the embedding functions F_V,
+// G_V and H_V for L = (4,6), M = (2,2,2,3), V = ((2,2),(2,3)).
+func E08ExpansionExample(w io.Writer) error {
+	f := expand.Factor{{2, 2}, {2, 3}}
+	L := grid.Shape{4, 6}
+	M := grid.Shape{2, 2, 2, 3}
+	if err := f.Validate(L, M); err != nil {
+		return err
+	}
+	fv, gv, hv := expand.FV(f), expand.GV(f), expand.HV(f)
+	tw := table(w)
+	fmt.Fprintln(tw, "(i1,i2)\tF_V\tG_V\tH_V")
+	for i1 := 0; i1 < 4; i1++ {
+		for i2 := 0; i2 < 6; i2++ {
+			n := grid.Node{i1, i2}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", n, fv(n.Clone()), gv(n.Clone()), hv(n.Clone()))
+		}
+	}
+	tw.Flush()
+	// Dilations for the three maps, measured as embeddings.
+	cases := []struct {
+		name   string
+		gk, hk grid.Kind
+	}{
+		{"F_V: mesh(4x6) -> mesh(2x2x2x3)", grid.Mesh, grid.Mesh},
+		{"H_V: torus(4x6) -> torus(2x2x2x3)", grid.Torus, grid.Torus},
+		{"G_V: torus(4x6) -> mesh(2x2x2x3)", grid.Torus, grid.Mesh},
+	}
+	for _, c := range cases {
+		e, err := expand.WithFactor(grid.MustSpec(c.gk, L), grid.MustSpec(c.hk, M), f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: dilation %d (guarantee %d)\n", c.name, e.Dilation(), e.Predicted)
+	}
+	return nil
+}
+
+// E09IncreasingMatrix sweeps Theorem 32 across kind combinations and
+// reports the Section 4.1 factor-choice ablation.
+func E09IncreasingMatrix(w io.Writer) error {
+	pairs := []struct{ L, M grid.Shape }{
+		{grid.Shape{4, 6}, grid.Shape{2, 2, 2, 3}},
+		{grid.Shape{8, 9}, grid.Shape{2, 4, 3, 3}},
+		{grid.Shape{6, 12}, grid.Shape{6, 3, 2, 2}},
+		{grid.Shape{9, 25}, grid.Shape{3, 3, 5, 5}},
+		{grid.Shape{12}, grid.Shape{3, 4}},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tstrategy\tguarantee\tmeasured")
+	for _, p := range pairs {
+		for _, gk := range []grid.Kind{grid.Mesh, grid.Torus} {
+			for _, hk := range []grid.Kind{grid.Mesh, grid.Torus} {
+				g, h := grid.MustSpec(gk, p.L), grid.MustSpec(hk, p.M)
+				e, err := expand.Embed(g, h)
+				if err != nil {
+					return err
+				}
+				if err := e.Verify(); err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n", g, h, e.Strategy, e.Predicted, e.Dilation())
+			}
+		}
+	}
+	tw.Flush()
+	// Ablation from Section 4.1: the (6,12)-torus into the (6,3,2,2)-mesh.
+	g := grid.TorusSpec(6, 12)
+	h := grid.MeshSpec(6, 3, 2, 2)
+	bad, err := expand.WithFactor(g, h, expand.Factor{{6}, {3, 2, 2}})
+	if err != nil {
+		return err
+	}
+	good, err := expand.WithFactor(g, h, expand.Factor{{2, 3}, {6, 2}})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "factor ablation (6,12)-torus -> (6,3,2,2)-mesh: ((6),(3,2,2)) gives %d; even-first ((2,3),(6,2)) gives %d  [paper: 2 vs 1]\n",
+		bad.Dilation(), good.Dilation())
+	return nil
+}
+
+// E10Hypercube reproduces Theorem 33 / Corollary 34: every torus or mesh
+// of power-of-two size embeds in the hypercube with unit dilation.
+func E10Hypercube(w io.Writer) error {
+	shapes := []grid.Shape{
+		{4, 8}, {2, 16}, {4, 4, 2}, {8, 4}, {32}, {2, 2, 8}, {16, 4},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tdilation (Corollary 34 claims 1)")
+	for _, L := range shapes {
+		f, ok := expand.HypercubeFactor(L)
+		if !ok {
+			return fmt.Errorf("shape %v is not power-of-two", L)
+		}
+		d := 0
+		for _, v := range f {
+			d += len(v)
+		}
+		h := grid.MustSpec(grid.Torus, grid.Hypercube(d))
+		for _, gk := range []grid.Kind{grid.Mesh, grid.Torus} {
+			g := grid.MustSpec(gk, L)
+			e, err := core.Embed(g, h)
+			if err != nil {
+				return err
+			}
+			if err := e.Verify(); err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\thypercube(%d)\t%d\n", g, d, e.Dilation())
+		}
+	}
+	tw.Flush()
+	return nil
+}
+
+// E11SimpleReduction reproduces Theorem 39 and Corollary 40, including
+// the grouping-order ablation (non-increasing groups minimize the bound).
+func E11SimpleReduction(w io.Writer) error {
+	pairs := []struct{ L, M grid.Shape }{
+		{grid.Shape{4, 2, 3}, grid.Shape{4, 6}},
+		{grid.Shape{2, 2, 2, 2}, grid.Shape{4, 4}},
+		{grid.Shape{2, 2, 2, 2, 2, 2}, grid.Shape{8, 8}},
+		{grid.Shape{3, 3, 3}, grid.Shape{9, 3}},
+		{grid.Shape{4, 4}, grid.Shape{16}},
+		{grid.Shape{5, 2, 2}, grid.Shape{10, 2}},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tfactor\tbound max m_k/l_vk\tmeasured (mesh->mesh)\tmeasured (torus->mesh)")
+	for _, p := range pairs {
+		f, ok := reduce.FindSimple(p.L, p.M)
+		if !ok {
+			return fmt.Errorf("no simple reduction of %v into %v", p.L, p.M)
+		}
+		mm, err := reduce.EmbedSimple(grid.MustSpec(grid.Mesh, p.L), grid.MustSpec(grid.Mesh, p.M))
+		if err != nil {
+			return err
+		}
+		tm, err := reduce.EmbedSimple(grid.MustSpec(grid.Torus, p.L), grid.MustSpec(grid.Mesh, p.M))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%v\t%v\t%v\t%d\t%d\t%d (bound %d)\n",
+			p.L, p.M, f, f.Dilation(), mm.Dilation(), tm.Dilation(), 2*f.Dilation())
+	}
+	tw.Flush()
+	// Grouping ablation: best vs worst ordering for (6,2,2,3) -> (12,6).
+	best, _ := reduce.FindSimple(grid.Shape{6, 2, 2, 3}, grid.Shape{12, 6})
+	worst := reduce.SimpleFactor{{3, 2, 2}, {6}}
+	fmt.Fprintf(w, "grouping ablation (6,2,2,3) -> (12,6): best factor %v bound %d; naive factor %v bound %d\n",
+		best, best.Dilation(), worst, worst.Dilation())
+	// Corollary 40: hypercube into square torus/mesh costs max{m_i}/2.
+	hyper := grid.MustSpec(grid.Torus, grid.Hypercube(6))
+	for _, hk := range []grid.Kind{grid.Torus, grid.Mesh} {
+		h := grid.MustSpec(hk, grid.Shape{8, 8})
+		e, err := core.Embed(hyper, h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "hypercube(6) -> %s: dilation %d  [Corollary 40/49: m/2 = 4]\n", h, e.Dilation())
+	}
+	return nil
+}
+
+// E12GeneralReduction reproduces Figure 12 and Theorem 43.
+func E12GeneralReduction(w io.Writer) error {
+	// Figure 12: (3,3,6)-mesh -> (6,9)-mesh with dilation 3.
+	g := grid.MeshSpec(3, 3, 6)
+	h := grid.MeshSpec(6, 9)
+	f, ok := reduce.FindGeneral(g.Shape, h.Shape)
+	if !ok {
+		return fmt.Errorf("FindGeneral failed for Figure 12")
+	}
+	e, err := reduce.WithGeneralFactor(g, h, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 12: %s -> %s via L'=%v L''=%v S=%v: dilation %d  [paper: 3]\n",
+		g, h, f.LPrime, f.LDouble, f.S, e.Dilation())
+
+	pairs := []struct{ L, M grid.Shape }{
+		{grid.Shape{3, 3, 6}, grid.Shape{6, 9}},
+		{grid.Shape{2, 2, 4}, grid.Shape{4, 4}},
+		{grid.Shape{3, 4, 4}, grid.Shape{6, 8}},
+		{grid.Shape{5, 5, 4}, grid.Shape{10, 10}},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "guest\thost\tmax s_i\tmesh->mesh\tmesh->torus\ttorus->torus\ttorus->mesh (bound 2·max s)")
+	for _, p := range pairs {
+		f, ok := reduce.FindGeneral(p.L, p.M)
+		if !ok {
+			return fmt.Errorf("no general reduction of %v into %v", p.L, p.M)
+		}
+		var cells []int
+		for _, kinds := range [][2]grid.Kind{
+			{grid.Mesh, grid.Mesh}, {grid.Mesh, grid.Torus}, {grid.Torus, grid.Torus}, {grid.Torus, grid.Mesh},
+		} {
+			e, err := reduce.EmbedGeneral(grid.MustSpec(kinds[0], p.L), grid.MustSpec(kinds[1], p.M))
+			if err != nil {
+				return err
+			}
+			cells = append(cells, e.Dilation())
+		}
+		fmt.Fprintf(tw, "%v\t%v\t%d\t%d\t%d\t%d\t%d\n", p.L, p.M, f.MaxS(), cells[0], cells[1], cells[2], cells[3])
+	}
+	tw.Flush()
+	return nil
+}

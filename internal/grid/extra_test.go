@@ -1,0 +1,106 @@
+package grid
+
+import "testing"
+
+func TestNodeStringAndConcat(t *testing.T) {
+	n := Node{1, 2, 3}
+	if n.String() != "(1,2,3)" {
+		t.Errorf("Node.String = %q", n.String())
+	}
+	c := Concat(Node{1, 2}, Node{3}, Node{})
+	if !c.Equal(Node{1, 2, 3}) {
+		t.Errorf("Concat = %v", c)
+	}
+	if n.Equal(Node{1, 2}) {
+		t.Error("Equal accepted different lengths")
+	}
+	clone := n.Clone()
+	clone[0] = 9
+	if n[0] == 9 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestSpecIsHypercube(t *testing.T) {
+	if !TorusSpec(2, 2, 2).IsHypercube() {
+		t.Error("2x2x2 torus not hypercube")
+	}
+	if MeshSpec(2, 3).IsHypercube() {
+		t.Error("2x3 mesh reported hypercube")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Torus.String() != "torus" || Mesh.String() != "mesh" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "torus" {
+		t.Error("invalid kind stringified as torus")
+	}
+	if Kind(9).Valid() {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := ParseKind("array"); err != nil {
+		t.Error("array alias rejected")
+	}
+	if _, err := ParseKind("grid"); err != nil {
+		t.Error("grid alias rejected")
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	if _, err := NewSpec(Kind(7), Shape{2, 2}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := NewSpec(Torus, Shape{2, 1}); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	sp, err := NewSpec(Mesh, Shape{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewSpec clones the shape.
+	orig := Shape{2, 3}
+	sp2, _ := NewSpec(Mesh, orig)
+	orig[0] = 9
+	if sp2.Shape[0] == 9 {
+		t.Error("NewSpec aliases the caller's shape")
+	}
+	_ = sp
+}
+
+func TestMustSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSpec did not panic")
+		}
+	}()
+	MustSpec(Torus, Shape{0})
+}
+
+func TestGraphAllPairsAndIsEdge(t *testing.T) {
+	g := Build(RingSpec(5))
+	d := g.AllPairs()
+	if d[0][2] != 2 || d[0][4] != 1 {
+		t.Errorf("AllPairs distances wrong: %v", d[0])
+	}
+	if !g.IsEdge(0, 1) || g.IsEdge(0, 2) {
+		t.Error("IsEdge wrong")
+	}
+	if !g.Connected() {
+		t.Error("ring disconnected")
+	}
+}
+
+func TestInBoundsEdges(t *testing.T) {
+	s := Shape{3, 3}
+	if (Node{1}).InBounds(s) {
+		t.Error("short node in bounds")
+	}
+	if (Node{1, 3}).InBounds(s) {
+		t.Error("overflow coordinate in bounds")
+	}
+	if (Node{-1, 0}).InBounds(s) {
+		t.Error("negative coordinate in bounds")
+	}
+}

@@ -1,0 +1,179 @@
+// Package ham derives the Hamiltonian-circuit corollaries of Ma & Tao
+// from the basic embedding sequences: every torus has a Hamiltonian
+// circuit (Corollary 29, from h_L); every mesh of even size and dimension
+// greater than 1 has one (Corollary 25, from π ∘ h_{L*}); and no mesh of
+// odd size has one (Corollary 18, the parity argument). Hamiltonian
+// paths always exist in both families via f_L (Theorem 13).
+package ham
+
+import (
+	"fmt"
+
+	"torusmesh/internal/gray"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+	"torusmesh/internal/radix"
+)
+
+// Path returns a Hamiltonian path of the given torus or mesh: the node
+// sequence f_L(0), f_L(1), ..., f_L(n-1), whose successive nodes are
+// adjacent in both families (Lemmas 11 and 12).
+func Path(sp grid.Spec) []grid.Node {
+	n := sp.Size()
+	out := make([]grid.Node, n)
+	for x := 0; x < n; x++ {
+		out[x] = gray.F(radix.Base(sp.Shape), x)
+	}
+	return out
+}
+
+// HasCircuit reports whether the graph has a Hamiltonian circuit,
+// applying the paper's classification: toruses always do (Corollary 29);
+// meshes do exactly when they have even size and dimension at least 2
+// (Corollaries 18 and 25), or are the trivial 2-node line's bigger
+// sibling — a 1-dimensional mesh (line) of size > 2 never has one.
+func HasCircuit(sp grid.Spec) bool {
+	if sp.Kind == grid.Torus {
+		return true
+	}
+	if sp.Dim() < 2 {
+		// A line of size 2 is a single edge; a circuit needs at least
+		// one cycle, which no line has.
+		return false
+	}
+	return sp.Size()%2 == 0
+}
+
+// Circuit returns a Hamiltonian circuit of the graph as a node sequence
+// whose consecutive nodes (including last back to first) are adjacent.
+// For toruses it is h_L directly; for meshes of even size and dimension
+// at least 2 it is π ∘ h_{L*} with an even length permuted to the front
+// (Theorem 24). It returns an error when no circuit exists.
+func Circuit(sp grid.Spec) ([]grid.Node, error) {
+	n := sp.Size()
+	L := radix.Base(sp.Shape)
+	if sp.Kind == grid.Torus {
+		out := make([]grid.Node, n)
+		for x := 0; x < n; x++ {
+			out[x] = gray.H(L, x)
+		}
+		return out, nil
+	}
+	if !HasCircuit(sp) {
+		if sp.Dim() < 2 {
+			return nil, fmt.Errorf("ham: a line has no Hamiltonian circuit")
+		}
+		return nil, fmt.Errorf("ham: no mesh of odd size has a Hamiltonian circuit (Corollary 18)")
+	}
+	// Find an even length and build L* with it in front.
+	evenIdx := -1
+	for i, l := range sp.Shape {
+		if l%2 == 0 {
+			evenIdx = i
+			break
+		}
+	}
+	if evenIdx < 0 {
+		return nil, fmt.Errorf("ham: even-size mesh with all-odd lengths is impossible")
+	}
+	lStar := sp.Shape.Clone()
+	lStar[0], lStar[evenIdx] = lStar[evenIdx], lStar[0]
+	// π maps L*-coordinates back to L-coordinates: it swaps the same two
+	// positions.
+	pi, ok := perm.Find(lStar, sp.Shape)
+	if !ok {
+		return nil, fmt.Errorf("ham: internal error: %v is not a permutation of %v", lStar, sp.Shape)
+	}
+	out := make([]grid.Node, n)
+	for x := 0; x < n; x++ {
+		out[x] = grid.Node(perm.Apply(pi, gray.H(radix.Base(lStar), x)))
+	}
+	return out, nil
+}
+
+// VerifyCircuit checks that seq is a Hamiltonian circuit of the graph:
+// it visits every node exactly once and every consecutive pair (cyclically)
+// is adjacent.
+func VerifyCircuit(sp grid.Spec, seq []grid.Node) error {
+	if err := verifyCover(sp, seq); err != nil {
+		return err
+	}
+	for i := range seq {
+		next := seq[(i+1)%len(seq)]
+		if d := sp.Distance(seq[i], next); d != 1 {
+			return fmt.Errorf("ham: consecutive nodes %s and %s at distance %d in %s", seq[i], next, d, sp)
+		}
+	}
+	return nil
+}
+
+// VerifyPath checks that seq is a Hamiltonian path of the graph.
+func VerifyPath(sp grid.Spec, seq []grid.Node) error {
+	if err := verifyCover(sp, seq); err != nil {
+		return err
+	}
+	for i := 1; i < len(seq); i++ {
+		if d := sp.Distance(seq[i-1], seq[i]); d != 1 {
+			return fmt.Errorf("ham: successive nodes %s and %s at distance %d in %s", seq[i-1], seq[i], d, sp)
+		}
+	}
+	return nil
+}
+
+func verifyCover(sp grid.Spec, seq []grid.Node) error {
+	n := sp.Size()
+	if len(seq) != n {
+		return fmt.Errorf("ham: sequence has %d nodes, graph has %d", len(seq), n)
+	}
+	seen := make([]bool, n)
+	for _, node := range seq {
+		if !node.InBounds(sp.Shape) {
+			return fmt.Errorf("ham: node %s out of bounds for %s", node, sp)
+		}
+		idx := sp.Shape.Index(node)
+		if seen[idx] {
+			return fmt.Errorf("ham: node %s visited twice", node)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+// ExhaustiveCircuit searches for a Hamiltonian circuit by backtracking
+// over the explicit graph. Exponential; intended only to cross-check
+// HasCircuit on small instances (the Corollary 18 impossibility proof).
+// Returns the circuit as node indices, or false.
+func ExhaustiveCircuit(sp grid.Spec) ([]int, bool) {
+	g := grid.Build(sp)
+	n := g.Size()
+	if n == 1 {
+		return nil, false
+	}
+	visited := make([]bool, n)
+	path := make([]int, 0, n)
+	visited[0] = true
+	path = append(path, 0)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if len(path) == n {
+			return g.IsEdge(v, 0)
+		}
+		for _, w := range g.Adj[v] {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			path = append(path, w)
+			if dfs(w) {
+				return true
+			}
+			path = path[:len(path)-1]
+			visited[w] = false
+		}
+		return false
+	}
+	if dfs(0) {
+		return path, true
+	}
+	return nil, false
+}

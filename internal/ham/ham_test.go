@@ -1,0 +1,138 @@
+package ham
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+func TestPathAlwaysExists(t *testing.T) {
+	specs := []grid.Spec{
+		grid.MeshSpec(4, 2, 3), grid.TorusSpec(4, 2, 3),
+		grid.MeshSpec(3, 3), grid.TorusSpec(3, 3),
+		grid.LineSpec(7), grid.RingSpec(7),
+		grid.MeshSpec(2, 2, 2, 2), grid.MeshSpec(5, 3),
+	}
+	for _, sp := range specs {
+		if err := VerifyPath(sp, Path(sp)); err != nil {
+			t.Errorf("%s: %v", sp, err)
+		}
+	}
+}
+
+// TestTorusCircuits verifies Corollary 29: every torus has a Hamiltonian
+// circuit, including toruses of odd size.
+func TestTorusCircuits(t *testing.T) {
+	specs := []grid.Spec{
+		grid.TorusSpec(4, 2, 3), grid.TorusSpec(3, 3), grid.TorusSpec(3, 5),
+		grid.RingSpec(5), grid.TorusSpec(3, 3, 3), grid.TorusSpec(2, 2),
+		grid.TorusSpec(5, 7), grid.TorusSpec(2, 3, 2),
+	}
+	for _, sp := range specs {
+		circuit, err := Circuit(sp)
+		if err != nil {
+			t.Errorf("%s: %v", sp, err)
+			continue
+		}
+		if err := VerifyCircuit(sp, circuit); err != nil {
+			t.Errorf("%s: %v", sp, err)
+		}
+	}
+}
+
+// TestEvenMeshCircuits verifies Corollary 25: every mesh of even size and
+// dimension > 1 has a Hamiltonian circuit, including meshes whose first
+// dimension is odd (handled by the π ∘ h_{L*} permutation).
+func TestEvenMeshCircuits(t *testing.T) {
+	specs := []grid.Spec{
+		grid.MeshSpec(4, 2, 3), grid.MeshSpec(2, 3), grid.MeshSpec(3, 4),
+		grid.MeshSpec(3, 2, 3), grid.MeshSpec(5, 2), grid.MeshSpec(3, 3, 4),
+		grid.MeshSpec(2, 2, 2, 2), grid.MeshSpec(7, 4),
+	}
+	for _, sp := range specs {
+		if sp.Size()%2 != 0 {
+			t.Fatalf("bad test case %s: odd size", sp)
+		}
+		circuit, err := Circuit(sp)
+		if err != nil {
+			t.Errorf("%s: %v", sp, err)
+			continue
+		}
+		if err := VerifyCircuit(sp, circuit); err != nil {
+			t.Errorf("%s: %v", sp, err)
+		}
+	}
+}
+
+// TestOddMeshNoCircuit verifies Corollary 18 constructively on small
+// instances: the exhaustive search agrees that odd meshes have no
+// Hamiltonian circuit, and Circuit refuses to build one.
+func TestOddMeshNoCircuit(t *testing.T) {
+	specs := []grid.Spec{
+		grid.MeshSpec(3, 3), grid.MeshSpec(3, 5), grid.MeshSpec(3, 3, 3),
+	}
+	for _, sp := range specs {
+		if _, err := Circuit(sp); err == nil {
+			t.Errorf("%s: Circuit built one for an odd mesh", sp)
+		}
+		if _, found := ExhaustiveCircuit(sp); found {
+			t.Errorf("%s: exhaustive search found a circuit; Corollary 18 violated", sp)
+		}
+	}
+}
+
+func TestLineNoCircuit(t *testing.T) {
+	if _, err := Circuit(grid.LineSpec(5)); err == nil {
+		t.Error("line accepted")
+	}
+	if HasCircuit(grid.LineSpec(4)) {
+		t.Error("HasCircuit true for a line")
+	}
+}
+
+// TestHasCircuitMatchesExhaustive cross-checks the classification
+// against brute force on every small spec.
+func TestHasCircuitMatchesExhaustive(t *testing.T) {
+	specs := []grid.Spec{
+		grid.MeshSpec(2, 2), grid.MeshSpec(2, 3), grid.MeshSpec(3, 3),
+		grid.MeshSpec(2, 5), grid.MeshSpec(2, 2, 2), grid.MeshSpec(2, 2, 3),
+		grid.TorusSpec(2, 2), grid.TorusSpec(2, 3), grid.TorusSpec(3, 3),
+		grid.RingSpec(4), grid.RingSpec(5), grid.LineSpec(4),
+		grid.MeshSpec(3, 4), grid.TorusSpec(2, 2, 3),
+	}
+	for _, sp := range specs {
+		_, found := ExhaustiveCircuit(sp)
+		if found != HasCircuit(sp) {
+			t.Errorf("%s: exhaustive=%v but HasCircuit=%v", sp, found, HasCircuit(sp))
+		}
+	}
+}
+
+func TestVerifyCircuitRejections(t *testing.T) {
+	sp := grid.TorusSpec(2, 2)
+	good, err := Circuit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length.
+	if err := VerifyCircuit(sp, good[:3]); err == nil {
+		t.Error("short sequence accepted")
+	}
+	// Duplicate node.
+	dup := append([]grid.Node{}, good...)
+	dup[1] = dup[0]
+	if err := VerifyCircuit(sp, dup); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Non-adjacent consecutive pair: swap two nodes of a 2x3 mesh circuit.
+	sp2 := grid.MeshSpec(2, 3)
+	c2, err := Circuit(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]grid.Node{}, c2...)
+	bad[1], bad[3] = bad[3], bad[1]
+	if err := VerifyCircuit(sp2, bad); err == nil {
+		t.Error("non-adjacent pair accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import "torusmesh/internal/taskgraph"
+
+// CongestionStats summarizes static link congestion: how many task edges
+// route over each directed link under dimension-ordered routing, without
+// simulating time. Congestion is the second classic embedding cost
+// besides dilation; a placement can have unit dilation yet overload a
+// link when many guest edges share it.
+type CongestionStats struct {
+	// MaxLink is the largest number of task-edge routes crossing any
+	// single directed link.
+	MaxLink int
+	// TotalHops is the sum of route lengths over all task edges (both
+	// directions), i.e. the total traffic volume.
+	TotalHops int
+	// UsedLinks is the number of directed links carrying at least one
+	// route.
+	UsedLinks int
+}
+
+// Congestion computes static congestion of a placement: every task edge
+// contributes its two directed routes.
+func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats, error) {
+	if err := tg.Validate(); err != nil {
+		return CongestionStats{}, err
+	}
+	if err := p.Validate(nw, tg.N); err != nil {
+		return CongestionStats{}, err
+	}
+	load := map[linkKey]int{}
+	stats := CongestionStats{}
+	for _, e := range tg.Edges {
+		for _, pair := range [2][2]int{{p[e[0]], p[e[1]]}, {p[e[1]], p[e[0]]}} {
+			path := nw.Route(pair[0], pair[1])
+			stats.TotalHops += len(path) - 1
+			for i := 0; i+1 < len(path); i++ {
+				k := linkKey{path[i], path[i+1]}
+				load[k]++
+				if load[k] > stats.MaxLink {
+					stats.MaxLink = load[k]
+				}
+			}
+		}
+	}
+	stats.UsedLinks = len(load)
+	return stats, nil
+}

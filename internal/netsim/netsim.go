@@ -1,0 +1,235 @@
+// Package netsim is a synchronous interconnection-network simulator used
+// to demonstrate the practical content of the paper's dilation metric:
+// when a task graph is placed on a torus or mesh machine, the latency of
+// a communication phase grows with the maximum hop count of any task
+// edge — exactly the dilation of the placement viewed as an embedding.
+//
+// The model is deliberately simple (the paper's contribution is the
+// embeddings, not router microarchitecture): store-and-forward routing,
+// one packet per link per cycle, deterministic dimension-ordered paths,
+// FIFO arbitration. It is enough to expose both dilation (path length)
+// and congestion (link contention) effects.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/taskgraph"
+)
+
+// Network is a torus or mesh machine with one router per node.
+type Network struct {
+	Spec  grid.Spec
+	n     int
+	shape grid.Shape
+}
+
+// New builds a network from a spec.
+func New(sp grid.Spec) *Network {
+	return &Network{Spec: sp, n: sp.Size(), shape: sp.Shape}
+}
+
+// Size returns the number of routers.
+func (nw *Network) Size() int { return nw.n }
+
+// Route returns the dimension-ordered path from src to dst (inclusive of
+// both endpoints) as router indices. In each dimension the torus variant
+// walks around the shorter way; the mesh variant walks monotonically.
+// Dimension-ordered routing on these topologies is minimal, so the path
+// length equals the graph distance of Lemmas 5 and 6.
+func (nw *Network) Route(src, dst int) []int {
+	cur := nw.shape.NodeAt(src)
+	target := nw.shape.NodeAt(dst)
+	path := []int{src}
+	for j, l := range nw.shape {
+		for cur[j] != target[j] {
+			step := 1
+			diff := target[j] - cur[j]
+			if nw.Spec.Kind == grid.Torus {
+				// Choose the shorter wrap direction; break ties toward
+				// increasing coordinates.
+				forward := (target[j] - cur[j] + l) % l
+				if forward <= l-forward {
+					step = 1
+				} else {
+					step = -1
+				}
+			} else if diff < 0 {
+				step = -1
+			}
+			cur[j] = (cur[j] + step + l) % l
+			path = append(path, nw.shape.Index(cur))
+		}
+	}
+	return path
+}
+
+// Placement maps task index to router index.
+type Placement []int
+
+// PlacementFromEmbedding converts an embedding (guest = task graph's
+// source topology, host = the machine) into a placement table.
+func PlacementFromEmbedding(e *embed.Embedding) Placement {
+	return Placement(e.Table())
+}
+
+// IdentityPlacement places task i on router i.
+func IdentityPlacement(n int) Placement {
+	p := make(Placement, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Validate checks that the placement is an injection into the network.
+func (p Placement) Validate(nw *Network, tasks int) error {
+	if len(p) != tasks {
+		return fmt.Errorf("netsim: placement covers %d tasks, want %d", len(p), tasks)
+	}
+	seen := make([]bool, nw.n)
+	for t, r := range p {
+		if r < 0 || r >= nw.n {
+			return fmt.Errorf("netsim: task %d placed on invalid router %d", t, r)
+		}
+		if seen[r] {
+			return fmt.Errorf("netsim: router %d hosts two tasks", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// Result aggregates one simulated communication phase.
+type Result struct {
+	// Cycles is the number of cycles until every packet arrived.
+	Cycles int
+	// Packets is the number of packets exchanged (two per task edge, one
+	// each way).
+	Packets int
+	// MaxHops is the longest routed path (the dilation of the placement
+	// when routing is minimal).
+	MaxHops int
+	// AvgHops is the mean routed path length.
+	AvgHops float64
+	// MaxLinkLoad is the largest number of packets crossing any single
+	// directed link during the phase (congestion).
+	MaxLinkLoad int
+}
+
+// linkKey identifies a directed link by its endpoints.
+type linkKey struct{ from, to int }
+
+// packet is an in-flight message with a precomputed route.
+type packet struct {
+	path []int
+	pos  int // index of the router currently holding the packet
+}
+
+// Simulate runs one communication phase of the task graph under the
+// placement: every task edge sends one packet in each direction; each
+// cycle a directed link transfers at most one packet (FIFO by packet
+// id); the phase ends when every packet is delivered.
+func Simulate(nw *Network, tg *taskgraph.Graph, p Placement) (Result, error) {
+	if err := tg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.Validate(nw, tg.N); err != nil {
+		return Result{}, err
+	}
+	var packets []*packet
+	totalHops := 0
+	maxHops := 0
+	for _, e := range tg.Edges {
+		a, b := p[e[0]], p[e[1]]
+		fwd := nw.Route(a, b)
+		bwd := nw.Route(b, a)
+		packets = append(packets, &packet{path: fwd}, &packet{path: bwd})
+		totalHops += (len(fwd) - 1) + (len(bwd) - 1)
+		if h := len(fwd) - 1; h > maxHops {
+			maxHops = h
+		}
+		if h := len(bwd) - 1; h > maxHops {
+			maxHops = h
+		}
+	}
+	res := Result{Packets: len(packets), MaxHops: maxHops}
+	if len(packets) > 0 {
+		res.AvgHops = float64(totalHops) / float64(len(packets))
+	}
+
+	linkLoad := map[linkKey]int{}
+	for _, pk := range packets {
+		for i := 0; i+1 < len(pk.path); i++ {
+			k := linkKey{pk.path[i], pk.path[i+1]}
+			linkLoad[k]++
+			if linkLoad[k] > res.MaxLinkLoad {
+				res.MaxLinkLoad = linkLoad[k]
+			}
+		}
+	}
+
+	// Cycle loop: each directed link carries one packet per cycle; lower
+	// packet ids win arbitration (FIFO by injection order).
+	pending := len(packets)
+	for _, pk := range packets {
+		if len(pk.path) == 1 {
+			pending-- // co-located tasks deliver instantly
+		}
+	}
+	cycles := 0
+	const safety = 1 << 20
+	for pending > 0 {
+		cycles++
+		if cycles > safety {
+			return res, fmt.Errorf("netsim: simulation did not converge (livelock?)")
+		}
+		claimed := map[linkKey]bool{}
+		for _, pk := range packets {
+			if pk.pos >= len(pk.path)-1 {
+				continue // delivered
+			}
+			k := linkKey{pk.path[pk.pos], pk.path[pk.pos+1]}
+			if claimed[k] {
+				continue // link busy this cycle
+			}
+			claimed[k] = true
+			pk.pos++
+			if pk.pos == len(pk.path)-1 {
+				pending--
+			}
+		}
+	}
+	res.Cycles = cycles
+	return res, nil
+}
+
+// CompareResult pairs a placement label with its simulation outcome, for
+// the experiment reports.
+type CompareResult struct {
+	Label  string
+	Result Result
+}
+
+// Compare simulates the same task graph under several placements and
+// returns results sorted by cycles (fastest first).
+func Compare(nw *Network, tg *taskgraph.Graph, placements map[string]Placement) ([]CompareResult, error) {
+	out := make([]CompareResult, 0, len(placements))
+	for label, p := range placements {
+		r, err := Simulate(nw, tg, p)
+		if err != nil {
+			return nil, fmt.Errorf("placement %q: %v", label, err)
+		}
+		out = append(out, CompareResult{Label: label, Result: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Result.Cycles != out[j].Result.Cycles {
+			return out[i].Result.Cycles < out[j].Result.Cycles
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out, nil
+}

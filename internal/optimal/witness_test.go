@@ -1,0 +1,47 @@
+package optimal
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+// TestWitnessAchievesOptimum verifies the returned assignment actually
+// realizes the reported minimum dilation.
+func TestWitnessAchievesOptimum(t *testing.T) {
+	cases := []struct{ g, h grid.Spec }{
+		{grid.RingSpec(9), grid.MeshSpec(3, 3)},
+		{grid.MeshSpec(3, 3), grid.LineSpec(9)},
+		{grid.MeshSpec(2, 2, 2), grid.LineSpec(8)},
+		{grid.TorusSpec(3, 3), grid.MeshSpec(3, 3)},
+	}
+	for _, c := range cases {
+		opt, table, err := MinDilationWitness(c.g, c.h, 16)
+		if err != nil {
+			t.Fatalf("%s -> %s: %v", c.g, c.h, err)
+		}
+		if table == nil {
+			t.Fatalf("%s -> %s: no witness", c.g, c.h)
+		}
+		// Validate injectivity.
+		seen := make([]bool, c.h.Size())
+		for _, hIdx := range table {
+			if hIdx < 0 || hIdx >= c.h.Size() || seen[hIdx] {
+				t.Fatalf("%s -> %s: witness not injective", c.g, c.h)
+			}
+			seen[hIdx] = true
+		}
+		// Measure the witness's dilation directly.
+		max := 0
+		c.g.VisitEdges(func(a, b grid.Node) {
+			ha := c.h.Shape.NodeAt(table[c.g.Shape.Index(a)])
+			hb := c.h.Shape.NodeAt(table[c.g.Shape.Index(b)])
+			if d := c.h.Distance(ha, hb); d > max {
+				max = d
+			}
+		})
+		if max != opt {
+			t.Errorf("%s -> %s: witness dilation %d != reported optimum %d", c.g, c.h, max, opt)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package render draws toruses, meshes and embeddings as ASCII grids,
+// regenerating the layout figures of the paper (Figures 5, 7, 10 and 12
+// show embeddings as labelled grids). A 2-dimensional host is one grid;
+// higher-dimensional hosts are drawn as a sequence of 2-dimensional
+// planes indexed by the remaining coordinates, matching the paper's
+// "plane" view of h_L (Figure 7).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+)
+
+// Grid renders the shape's nodes as a table of labels, first coordinate
+// down the rows, second across the columns (the paper's convention:
+// origin at the lower left, first dimension vertical). For dimensions
+// above 2 one block is emitted per combination of the trailing
+// coordinates.
+func Grid(shape grid.Shape, label func(grid.Node) string) string {
+	var b strings.Builder
+	writeGrid(&b, shape, label)
+	return b.String()
+}
+
+func writeGrid(b *strings.Builder, shape grid.Shape, label func(grid.Node) string) {
+	switch len(shape) {
+	case 0:
+		return
+	case 1:
+		cells := make([]string, shape[0])
+		width := 0
+		for i := range cells {
+			cells[i] = label(grid.Node{i})
+			if len(cells[i]) > width {
+				width = len(cells[i])
+			}
+		}
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(b, "%*s", width, c)
+		}
+		b.WriteString("\n")
+	case 2:
+		rows, cols := shape[0], shape[1]
+		cells := make([][]string, rows)
+		width := 0
+		for r := 0; r < rows; r++ {
+			cells[r] = make([]string, cols)
+			for c := 0; c < cols; c++ {
+				cells[r][c] = label(grid.Node{r, c})
+				if len(cells[r][c]) > width {
+					width = len(cells[r][c])
+				}
+			}
+		}
+		// Paper convention: the first coordinate increases upward, so row
+		// rows-1 prints first.
+		for r := rows - 1; r >= 0; r-- {
+			for c := 0; c < cols; c++ {
+				if c > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(b, "%*s", width, cells[r][c])
+			}
+			b.WriteString("\n")
+		}
+	default:
+		// Iterate the trailing coordinates; draw one 2D plane per value.
+		tail := shape[2:]
+		tailN := tail.Size()
+		for t := 0; t < tailN; t++ {
+			suffix := tail.NodeAt(t)
+			fmt.Fprintf(b, "plane (*,*%s:\n", strings.TrimPrefix(suffix.String(), "("))
+			writeGrid(b, shape[:2], func(n grid.Node) string {
+				full := make(grid.Node, 0, len(shape))
+				full = append(full, n...)
+				full = append(full, suffix...)
+				return label(full)
+			})
+		}
+	}
+}
+
+// Embedding renders the host graph with each node labelled by the
+// row-major index of its guest pre-image — the format of Figure 10.
+func Embedding(e *embed.Embedding) string {
+	n := e.From.Size()
+	inverse := make(map[int]int, n)
+	for x := 0; x < n; x++ {
+		inverse[e.To.Shape.Index(e.Map(e.From.Shape.NodeAt(x)))] = x
+	}
+	return Grid(e.To.Shape, func(node grid.Node) string {
+		x, ok := inverse[e.To.Shape.Index(node)]
+		if !ok {
+			return "."
+		}
+		return fmt.Sprintf("%d", x)
+	})
+}
+
+// Circuit renders the host graph with each node labelled by its position
+// in the given node sequence (Hamiltonian circuits and paths).
+func Circuit(sp grid.Spec, seq []grid.Node) string {
+	pos := make(map[int]int, len(seq))
+	for i, node := range seq {
+		pos[sp.Shape.Index(node)] = i
+	}
+	return Grid(sp.Shape, func(node grid.Node) string {
+		p, ok := pos[sp.Shape.Index(node)]
+		if !ok {
+			return "."
+		}
+		return fmt.Sprintf("%d", p)
+	})
+}

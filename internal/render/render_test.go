@@ -1,0 +1,126 @@
+package render
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"torusmesh/internal/core"
+	"torusmesh/internal/gray"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/ham"
+	"torusmesh/internal/radix"
+)
+
+func TestGrid1D(t *testing.T) {
+	out := Grid(grid.Shape{4}, func(n grid.Node) string { return n.String() })
+	if !strings.Contains(out, "(0)") || !strings.Contains(out, "(3)") {
+		t.Errorf("1D grid output wrong:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 1 {
+		t.Errorf("1D grid should be one line, got %d", lines)
+	}
+}
+
+func TestGrid2DOrientation(t *testing.T) {
+	// The first coordinate increases upward: node (2,0) appears on the
+	// first printed line, node (0,0) on the last.
+	out := Grid(grid.Shape{3, 2}, func(n grid.Node) string { return n.String() })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "(2,0)") {
+		t.Errorf("top row should start with (2,0):\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "(0,0)") {
+		t.Errorf("bottom row should start with (0,0):\n%s", out)
+	}
+}
+
+func TestGrid3DPlanes(t *testing.T) {
+	out := Grid(grid.Shape{4, 2, 3}, func(n grid.Node) string { return "x" })
+	if got := strings.Count(out, "plane"); got != 3 {
+		t.Errorf("expected 3 planes, got %d:\n%s", got, out)
+	}
+}
+
+// TestEmbeddingFigure10 renders the f_L embedding of a line in the
+// (4,2,3)-mesh and checks a few cell positions against Figure 10(d):
+// f(0) = (0,0,0) so plane 0's bottom-left is 0; f(23) = (3,0,0) so plane
+// 0's top-left is 23.
+func TestEmbeddingFigure10(t *testing.T) {
+	e, err := core.Embed(grid.LineSpec(24), grid.MeshSpec(4, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Embedding(e)
+	planes := strings.Split(out, "plane")
+	if len(planes) != 4 { // leading empty + 3 planes
+		t.Fatalf("expected 3 planes:\n%s", out)
+	}
+	plane0 := strings.Split(strings.TrimSpace(planes[1]), "\n")
+	// plane0[0] is the header remnant; rows follow top (first coord 3)
+	// to bottom (first coord 0).
+	rows := plane0[1:]
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows in plane 0, got %d:\n%s", len(rows), out)
+	}
+	top := strings.Fields(rows[0])
+	bottom := strings.Fields(rows[3])
+	if top[0] != "23" {
+		t.Errorf("top-left of plane 0 = %s, want 23 (f maps 23 to (3,0,0))", top[0])
+	}
+	if bottom[0] != "0" {
+		t.Errorf("bottom-left of plane 0 = %s, want 0", bottom[0])
+	}
+}
+
+func TestCircuitRender(t *testing.T) {
+	sp := grid.MeshSpec(3, 4)
+	circuit, err := ham.Circuit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Circuit(sp, circuit)
+	for i := 0; i < 12; i++ {
+		if !strings.Contains(out, " ") {
+			break
+		}
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 12 {
+		t.Fatalf("expected 12 labels, got %d:\n%s", len(fields), out)
+	}
+	seen := map[string]bool{}
+	for _, f := range fields {
+		seen[f] = true
+	}
+	for _, want := range []string{"0", "11"} {
+		if !seen[want] {
+			t.Errorf("label %s missing:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderRSequence draws the r_L sequence of Figure 5: positions 0..3
+// march down the first column of a (4,3)-grid.
+func TestRenderRSequence(t *testing.T) {
+	L := radix.Base{4, 3}
+	pos := make(map[int]int)
+	for x := 0; x < 12; x++ {
+		pos[grid.Shape(L).Index(gray.R(L, x))] = x
+	}
+	out := Grid(grid.Shape(L), func(n grid.Node) string {
+		return strconv.Itoa(pos[grid.Shape(L).Index(n)])
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Column 0 top-to-bottom must read 0,1,2,3 (Figure 5: first column
+	// filled downward from the top).
+	for i, want := range []string{"0", "1", "2", "3"} {
+		got := strings.Fields(lines[i])[0]
+		if got != want {
+			t.Errorf("row %d column 0 = %s, want %s\n%s", i, got, want, out)
+		}
+	}
+}

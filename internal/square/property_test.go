@@ -1,0 +1,66 @@
+package square
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+// TestSweepAllSquarePairs enumerates every (d, c, l) with l^d <= 5000
+// for which a square host exists, and verifies the Section 5 guarantee
+// for all four kind combinations — the exhaustive version of the
+// hand-picked embedCase tests.
+func TestSweepAllSquarePairs(t *testing.T) {
+	kinds := []grid.Kind{grid.Mesh, grid.Torus}
+	checked := 0
+	for d := 1; d <= 7; d++ {
+		for _, l := range []int{2, 3, 4, 5, 8, 9, 16, 25, 27} {
+			size := 1
+			overflow := false
+			for i := 0; i < d; i++ {
+				size *= l
+				if size > 5000 {
+					overflow = true
+					break
+				}
+			}
+			if overflow {
+				continue
+			}
+			for c := 1; c <= 7; c++ {
+				if c == d {
+					continue
+				}
+				m, ok := IntRoot(size, c)
+				if !ok || m < 2 {
+					continue
+				}
+				for _, gk := range kinds {
+					for _, hk := range kinds {
+						g := grid.MustSpec(gk, grid.Square(d, l))
+						h := grid.MustSpec(hk, grid.Square(c, m))
+						e, err := Embed(g, h)
+						if err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						if err := e.Verify(); err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						want, err := Predicted(gk, hk, d, c, l)
+						if err != nil {
+							t.Fatalf("%s -> %s: %v", g, h, err)
+						}
+						if got := e.Dilation(); got > want {
+							t.Fatalf("%s -> %s: dilation %d exceeds guarantee %d (%s)", g, h, got, want, e.Strategy)
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked < 100 {
+		t.Errorf("sweep covered only %d pairs", checked)
+	}
+	t.Logf("verified %d square pairs", checked)
+}

@@ -1,0 +1,286 @@
+// Package square implements Section 5 of Ma & Tao: embeddings among
+// *square* toruses and meshes, which always exist and compose the
+// generalized embeddings of Section 4.
+//
+// Lowering dimension (c < d), Theorem 48 (c divides d): the host shape is
+// a simple reduction of the guest shape; dilation ℓ^{(d−c)/c}, doubled
+// for a torus into a mesh, optimal to within a constant (Theorem 47).
+//
+// Lowering dimension, Theorem 51 (c does not divide d): a chain of
+// general reductions through the intermediate shapes
+// (ℓ^{(v+k)/v} × av, ℓ × a(u−v−k)), k = 0..u−v, where a = gcd(d, c),
+// u = d/a, v = c/a; same dilation.
+//
+// Increasing dimension (d < c), Theorem 52 (d divides c): expansion with
+// factor lists (m, ..., m); dilation 1, or 2 for an odd-size torus into a
+// mesh — both optimal.
+//
+// Increasing dimension, Theorem 53 (d does not divide c): expansion into
+// an intermediate square graph of dimension v·d with side ℓ^{1/v}, then a
+// simple reduction down to dimension c; dilation ℓ^{(d−a)/c}, doubled for
+// an odd-size torus into a mesh.
+package square
+
+import (
+	"fmt"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/expand"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/reduce"
+)
+
+// Gcd returns the greatest common divisor of two positive integers.
+func Gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// IntPow returns base^exp for non-negative exp.
+func IntPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// IntRoot returns the exact integer k-th root of x, or false when x is
+// not a perfect k-th power. Lemma 50 guarantees the roots needed by
+// Theorems 51 and 53 exist whenever the host graph does.
+func IntRoot(x, k int) (int, bool) {
+	if x < 1 || k < 1 {
+		return 0, false
+	}
+	if k == 1 || x == 1 {
+		return x, true
+	}
+	lo, hi := 1, x
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		// Compute mid^k with overflow guard by capping at > x.
+		p, over := 1, false
+		for i := 0; i < k; i++ {
+			p *= mid
+			if p > x || p < 0 {
+				over = true
+				break
+			}
+		}
+		switch {
+		case !over && p == x:
+			return mid, true
+		case over || p > x:
+			hi = mid - 1
+		default:
+			lo = mid + 1
+		}
+	}
+	return 0, false
+}
+
+// Predicted returns the dilation cost Section 5 guarantees for embedding
+// a square d-dimensional graph of side l in a square c-dimensional graph
+// of the same size, for the given kinds. It mirrors Theorems 48/51/52/53
+// and Lemma 36 (d == c).
+func Predicted(gKind, hKind grid.Kind, d, c, l int) (int, error) {
+	torusIntoMesh := gKind == grid.Torus && hKind == grid.Mesh
+	switch {
+	case d == c:
+		if torusIntoMesh && l > 2 {
+			return 2, nil
+		}
+		return 1, nil
+	case d > c: // lowering
+		a := Gcd(d, c)
+		u, v := d/a, c/a
+		root, ok := IntRoot(l, v)
+		if !ok {
+			return 0, fmt.Errorf("square: side %d has no integer %d-th root; no square host of dimension %d exists", l, v, c)
+		}
+		base := IntPow(root, u-v) // = l^{(d-c)/c}
+		if torusIntoMesh {
+			return 2 * base, nil
+		}
+		return base, nil
+	default: // increasing
+		if c%d == 0 {
+			if torusIntoMesh && IntPow(l, d)%2 == 1 {
+				return 2, nil
+			}
+			return 1, nil
+		}
+		a := Gcd(d, c)
+		u, v := d/a, c/a
+		root, ok := IntRoot(l, v)
+		if !ok {
+			return 0, fmt.Errorf("square: side %d has no integer %d-th root; no square host of dimension %d exists", l, v, c)
+		}
+		base := IntPow(root, u-1) // = l^{(d-a)/c}
+		if torusIntoMesh && IntPow(l, d)%2 == 1 {
+			return 2 * base, nil
+		}
+		return base, nil
+	}
+}
+
+// ChainShapes returns the Theorem 51 intermediate shapes I_0 = guest,
+// ..., I_{u-v} = host for lowering a square d-dimensional graph of side l
+// to dimension c (c < d, c does not divide d). Shape k is
+// (ℓ^{(v+k)/v} × av, ℓ × a(u−v−k)).
+func ChainShapes(l, d, c int) ([]grid.Shape, error) {
+	a := Gcd(d, c)
+	u, v := d/a, c/a
+	if v < 2 {
+		return nil, fmt.Errorf("square: chain needs c not dividing d, got d=%d c=%d", d, c)
+	}
+	root, ok := IntRoot(l, v)
+	if !ok {
+		return nil, fmt.Errorf("square: side %d is not a perfect %d-th power", l, v)
+	}
+	shapes := make([]grid.Shape, 0, u-v+1)
+	for k := 0; k <= u-v; k++ {
+		q := IntPow(root, v+k)
+		shape := make(grid.Shape, 0, a*(u-k))
+		shape = append(shape, grid.Square(a*v, q)...)
+		shape = append(shape, grid.Square(a*(u-v-k), l)...)
+		shapes = append(shapes, shape)
+	}
+	return shapes, nil
+}
+
+// chainStepFactor builds the general-reduction factor for step k of the
+// Theorem 51 chain: L' keeps the av grown dimensions and all but a of the
+// side-ℓ dimensions; L” is a copies of ℓ, each factored into v copies of
+// root. The host shape of the factor is exactly the next chain shape, so
+// both α and β are identities.
+func chainStepFactor(l, root, a, u, v, k int) *reduce.GeneralFactor {
+	q := IntPow(root, v+k)
+	lPrime := make(grid.Shape, 0, a*(u-k-1))
+	lPrime = append(lPrime, grid.Square(a*v, q)...)
+	lPrime = append(lPrime, grid.Square(a*(u-v-k-1), l)...)
+	s := make([][]int, a)
+	for i := range s {
+		s[i] = grid.Square(v, root)
+	}
+	return &reduce.GeneralFactor{
+		LPrime:  lPrime,
+		LDouble: grid.Square(a, l),
+		S:       s,
+	}
+}
+
+// embedLoweringChain builds the Theorem 51 embedding as a composition of
+// general reductions along the chain shapes. Intermediates share the
+// guest's kind; only the final step lands in the host's kind (a torus
+// cannot be subdivided into smaller toruses, so a torus chain stays torus
+// until the last hop).
+func embedLoweringChain(g, h grid.Spec) (*embed.Embedding, error) {
+	l, d, c := g.Shape[0], g.Dim(), h.Dim()
+	a := Gcd(d, c)
+	u, v := d/a, c/a
+	root, ok := IntRoot(l, v)
+	if !ok {
+		return nil, fmt.Errorf("square: side %d is not a perfect %d-th power", l, v)
+	}
+	shapes, err := ChainShapes(l, d, c)
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]*embed.Embedding, 0, len(shapes)-1)
+	for k := 0; k+1 < len(shapes); k++ {
+		fromKind := g.Kind
+		toKind := g.Kind
+		if k+2 == len(shapes) {
+			toKind = h.Kind
+		}
+		from := grid.Spec{Kind: fromKind, Shape: shapes[k]}
+		to := grid.Spec{Kind: toKind, Shape: shapes[k+1]}
+		step, err := reduce.WithGeneralFactor(from, to, chainStepFactor(l, root, a, u, v, k))
+		if err != nil {
+			return nil, fmt.Errorf("square: chain step %d (%s -> %s): %v", k, from, to, err)
+		}
+		steps = append(steps, step)
+	}
+	e, err := embed.ComposeAll(steps...)
+	if err != nil {
+		return nil, err
+	}
+	e.Strategy = fmt.Sprintf("square-chain[%d steps]", len(steps))
+	if pred, perr := Predicted(g.Kind, h.Kind, d, c, l); perr == nil {
+		e.Predicted = pred
+	}
+	return e, nil
+}
+
+// embedIncreasingViaIntermediate builds the Theorem 53 embedding:
+// expansion into a square graph of dimension v·d with side ℓ^{1/v},
+// followed by a simple reduction down to dimension c (v·d is divisible
+// by c).
+func embedIncreasingViaIntermediate(g, h grid.Spec) (*embed.Embedding, error) {
+	l, d, c := g.Shape[0], g.Dim(), h.Dim()
+	a := Gcd(d, c)
+	v := c / a
+	root, ok := IntRoot(l, v)
+	if !ok {
+		return nil, fmt.Errorf("square: side %d is not a perfect %d-th power", l, v)
+	}
+	// G' is a torus only when both endpoints are toruses; otherwise a
+	// mesh intermediate keeps the second hop free of the torus-into-mesh
+	// penalty.
+	midKind := grid.Mesh
+	if g.Kind == grid.Torus && h.Kind == grid.Torus {
+		midKind = grid.Torus
+	}
+	mid := grid.Spec{Kind: midKind, Shape: grid.Square(v*d, root)}
+	factor := make(expand.Factor, d)
+	for i := range factor {
+		factor[i] = grid.Square(v, root)
+	}
+	e1, err := expand.WithFactor(g, mid, factor)
+	if err != nil {
+		return nil, fmt.Errorf("square: expansion into %s: %v", mid, err)
+	}
+	e2, err := reduce.EmbedSimple(mid, h)
+	if err != nil {
+		return nil, fmt.Errorf("square: reduction %s -> %s: %v", mid, h, err)
+	}
+	e, err := embed.Compose(e1, e2)
+	if err != nil {
+		return nil, err
+	}
+	e.Strategy = "square-increasing[expand ∘ simple-reduce]"
+	if pred, perr := Predicted(g.Kind, h.Kind, d, c, l); perr == nil {
+		e.Predicted = pred
+	}
+	return e, nil
+}
+
+// Embed constructs the Section 5 embedding between two square graphs of
+// the same size. All four kind combinations and all dimension
+// relationships are supported.
+func Embed(g, h grid.Spec) (*embed.Embedding, error) {
+	if !g.Shape.IsSquare() || !h.Shape.IsSquare() {
+		return nil, fmt.Errorf("square: both graphs must be square, got %s and %s", g, h)
+	}
+	if g.Size() != h.Size() {
+		return nil, fmt.Errorf("square: sizes differ: %s has %d nodes, %s has %d", g, g.Size(), h, h.Size())
+	}
+	d, c := g.Dim(), h.Dim()
+	switch {
+	case d == c:
+		return reduce.SameShape(g, h)
+	case d > c:
+		if d%c == 0 {
+			return reduce.EmbedSimple(g, h)
+		}
+		return embedLoweringChain(g, h)
+	default:
+		if c%d == 0 {
+			return expand.Embed(g, h)
+		}
+		return embedIncreasingViaIntermediate(g, h)
+	}
+}

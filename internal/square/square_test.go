@@ -1,0 +1,191 @@
+package square
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+func TestGcdIntPowIntRoot(t *testing.T) {
+	if Gcd(12, 18) != 6 || Gcd(7, 5) != 1 || Gcd(9, 3) != 3 {
+		t.Error("Gcd wrong")
+	}
+	if IntPow(3, 4) != 81 || IntPow(5, 0) != 1 || IntPow(2, 10) != 1024 {
+		t.Error("IntPow wrong")
+	}
+	cases := []struct {
+		x, k, root int
+		ok         bool
+	}{
+		{64, 2, 8, true}, {64, 3, 4, true}, {64, 6, 2, true},
+		{81, 4, 3, true}, {12, 2, 0, false}, {8, 2, 0, false},
+		{7, 1, 7, true}, {1, 5, 1, true}, {1024, 10, 2, true},
+	}
+	for _, c := range cases {
+		got, ok := IntRoot(c.x, c.k)
+		if ok != c.ok || (ok && got != c.root) {
+			t.Errorf("IntRoot(%d,%d) = %d,%v; want %d,%v", c.x, c.k, got, ok, c.root, c.ok)
+		}
+	}
+}
+
+func TestChainShapes(t *testing.T) {
+	// ℓ=4, d=5, c=2: a=1, u=5, v=2, root=2.
+	shapes, err := ChainShapes(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []grid.Shape{
+		{4, 4, 4, 4, 4}, {8, 8, 4, 4}, {16, 16, 4}, {32, 32},
+	}
+	if len(shapes) != len(want) {
+		t.Fatalf("chain length %d, want %d", len(shapes), len(want))
+	}
+	for i := range want {
+		if !shapes[i].Equal(want[i]) {
+			t.Errorf("shape %d = %s, want %s", i, shapes[i], want[i])
+		}
+		if shapes[i].Size() != want[0].Size() {
+			t.Errorf("shape %d changes size", i)
+		}
+	}
+	if _, err := ChainShapes(4, 4, 2); err == nil {
+		t.Error("ChainShapes accepted divisible dimensions")
+	}
+	if _, err := ChainShapes(8, 3, 2); err == nil {
+		t.Error("ChainShapes accepted non-perfect-square side 8 with v=2")
+	}
+}
+
+func TestPredictedFormulas(t *testing.T) {
+	cases := []struct {
+		gk, hk  grid.Kind
+		d, c, l int
+		want    int
+	}{
+		// Same dimension (Lemma 36).
+		{grid.Mesh, grid.Mesh, 2, 2, 5, 1},
+		{grid.Torus, grid.Mesh, 2, 2, 5, 2},
+		{grid.Torus, grid.Mesh, 3, 3, 2, 1}, // hypercube: torus = mesh
+		{grid.Mesh, grid.Torus, 2, 2, 5, 1},
+		// Lowering, divisible (Theorem 48): l^{(d-c)/c}.
+		{grid.Mesh, grid.Mesh, 4, 2, 2, 2},
+		{grid.Torus, grid.Mesh, 4, 2, 2, 4},
+		{grid.Torus, grid.Torus, 4, 2, 2, 2},
+		{grid.Mesh, grid.Mesh, 2, 1, 4, 4},
+		{grid.Torus, grid.Torus, 2, 1, 4, 4}, // MN86: (4,4)-torus -> ring
+		// Lowering, non-divisible (Theorem 51): l^{(d-c)/c} via chain.
+		{grid.Mesh, grid.Mesh, 3, 2, 4, 2},
+		{grid.Torus, grid.Mesh, 3, 2, 4, 4},
+		{grid.Mesh, grid.Mesh, 5, 2, 4, 8},
+		{grid.Mesh, grid.Mesh, 3, 2, 9, 3},
+		// Increasing, divisible (Theorem 52).
+		{grid.Mesh, grid.Mesh, 2, 4, 4, 1},
+		{grid.Torus, grid.Mesh, 2, 4, 9, 2}, // odd torus into mesh
+		{grid.Torus, grid.Mesh, 2, 4, 4, 1}, // even torus into mesh
+		{grid.Torus, grid.Torus, 2, 4, 9, 1},
+		// Increasing, non-divisible (Theorem 53): l^{(d-a)/c}.
+		{grid.Mesh, grid.Mesh, 2, 3, 8, 2},
+		{grid.Torus, grid.Mesh, 2, 3, 27, 6}, // odd: 2*27^{1/3}... 2*3
+		{grid.Torus, grid.Mesh, 2, 3, 8, 2},  // even: no doubling
+		{grid.Torus, grid.Torus, 2, 3, 8, 2},
+	}
+	for _, c := range cases {
+		got, err := Predicted(c.gk, c.hk, c.d, c.c, c.l)
+		if err != nil {
+			t.Errorf("Predicted(%v,%v,d=%d,c=%d,l=%d): %v", c.gk, c.hk, c.d, c.c, c.l, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Predicted(%v,%v,d=%d,c=%d,l=%d) = %d, want %d", c.gk, c.hk, c.d, c.c, c.l, got, c.want)
+		}
+	}
+	if _, err := Predicted(grid.Mesh, grid.Mesh, 3, 2, 8); err == nil {
+		t.Error("Predicted accepted side 8 with v=2 (no integer root)")
+	}
+}
+
+// embedCase runs Embed for all four kind combinations and checks
+// verification plus the Theorem 48/51/52/53 dilation guarantees.
+func embedCase(t *testing.T, d, c, l int) {
+	t.Helper()
+	for _, gk := range []grid.Kind{grid.Mesh, grid.Torus} {
+		for _, hk := range []grid.Kind{grid.Mesh, grid.Torus} {
+			g := grid.MustSpec(gk, grid.Square(d, l))
+			mlen, ok := IntRoot(IntPow(l, d), c)
+			if !ok {
+				t.Fatalf("bad test case: %d^%d has no %d-th root", l, d, c)
+			}
+			h := grid.MustSpec(hk, grid.Square(c, mlen))
+			e, err := Embed(g, h)
+			if err != nil {
+				t.Errorf("%s -> %s: %v", g, h, err)
+				continue
+			}
+			if err := e.Verify(); err != nil {
+				t.Errorf("%s -> %s: %v", g, h, err)
+				continue
+			}
+			want, err := Predicted(gk, hk, d, c, l)
+			if err != nil {
+				t.Errorf("%s -> %s: %v", g, h, err)
+				continue
+			}
+			if got := e.Dilation(); got > want {
+				t.Errorf("%s -> %s: dilation %d exceeds Section 5 guarantee %d (strategy %s)",
+					g, h, got, want, e.Strategy)
+			}
+		}
+	}
+}
+
+func TestEmbedSameDimension(t *testing.T)          { embedCase(t, 2, 2, 4) }
+func TestEmbedLoweringDivisible(t *testing.T)      { embedCase(t, 4, 2, 2) }
+func TestEmbedLoweringDivisibleBig(t *testing.T)   { embedCase(t, 2, 1, 5) }
+func TestEmbedLoweringChain32(t *testing.T)        { embedCase(t, 3, 2, 4) }
+func TestEmbedLoweringChain52(t *testing.T)        { embedCase(t, 5, 2, 4) }
+func TestEmbedLoweringChain43(t *testing.T)        { embedCase(t, 4, 3, 8) }
+func TestEmbedLoweringChainOdd(t *testing.T)       { embedCase(t, 3, 2, 9) }
+func TestEmbedIncreasingDivisible(t *testing.T)    { embedCase(t, 2, 4, 4) }
+func TestEmbedIncreasingDivisibleOdd(t *testing.T) { embedCase(t, 2, 4, 9) }
+func TestEmbedIncreasingChain23(t *testing.T)      { embedCase(t, 2, 3, 8) }
+func TestEmbedIncreasingChain23Odd(t *testing.T)   { embedCase(t, 2, 3, 27) }
+func TestEmbedIncreasingChain34(t *testing.T)      { embedCase(t, 3, 4, 16) }
+
+// TestEmbedExactCosts pins cases where the guarantee is met exactly,
+// demonstrating the guarantees are tight for these instances.
+func TestEmbedExactCosts(t *testing.T) {
+	cases := []struct {
+		g, h grid.Spec
+		want int
+	}{
+		{grid.MustSpec(grid.Mesh, grid.Square(2, 4)), grid.LineSpec(16), 4},          // Fitzgerald 2D
+		{grid.MustSpec(grid.Torus, grid.Square(2, 4)), grid.RingSpec(16), 4},         // MN86
+		{grid.MustSpec(grid.Mesh, grid.Square(3, 2)), grid.LineSpec(8), 4},           // hypercube -> line: 2^{d-1}
+		{grid.MustSpec(grid.Mesh, grid.Square(3, 4)), grid.MeshSpec(8, 8), 2},        // chain d=3,c=2
+		{grid.MustSpec(grid.Torus, grid.Square(2, 9)), grid.MeshSpec(3, 3, 3, 3), 2}, // odd torus raise
+	}
+	for _, c := range cases {
+		e, err := Embed(c.g, c.h)
+		if err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if err := e.Verify(); err != nil {
+			t.Errorf("%s -> %s: %v", c.g, c.h, err)
+			continue
+		}
+		if got := e.Dilation(); got != c.want {
+			t.Errorf("%s -> %s: dilation %d, want exactly %d", c.g, c.h, got, c.want)
+		}
+	}
+}
+
+func TestEmbedRejections(t *testing.T) {
+	if _, err := Embed(grid.MeshSpec(3, 4), grid.MeshSpec(12)); err == nil {
+		t.Error("non-square guest accepted")
+	}
+	if _, err := Embed(grid.MeshSpec(4, 4), grid.MeshSpec(15)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"torusmesh/internal/grid"
+)
+
+func TestPipelineEdges(t *testing.T) {
+	p := Pipeline(5)
+	if p.N != 5 || len(p.Edges) != 4 {
+		t.Fatalf("pipeline: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxDegree() != 2 {
+		t.Errorf("pipeline max degree = %d", p.MaxDegree())
+	}
+}
+
+func TestRingPipelineSmall(t *testing.T) {
+	// n = 2: the wrap edge would duplicate the single edge; it is omitted.
+	r := RingPipeline(2)
+	if len(r.Edges) != 1 {
+		t.Errorf("ring-pipeline(2) edges = %d, want 1", len(r.Edges))
+	}
+	r = RingPipeline(5)
+	if len(r.Edges) != 5 {
+		t.Errorf("ring-pipeline(5) edges = %d, want 5", len(r.Edges))
+	}
+}
+
+func TestFromSpecMatchesEdgeCount(t *testing.T) {
+	for _, sp := range []grid.Spec{
+		grid.MeshSpec(3, 4), grid.TorusSpec(3, 4), grid.MeshSpec(2, 2, 2),
+	} {
+		g := FromSpec(sp)
+		if len(g.Edges) != sp.EdgeCount() {
+			t.Errorf("%s: %d edges, want %d", sp, len(g.Edges), sp.EdgeCount())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", sp, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := &Graph{Name: "bad", N: 3, Edges: [][2]int{{0, 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	loop := &Graph{Name: "loop", N: 3, Edges: [][2]int{{1, 1}}}
+	if err := loop.Validate(); err == nil {
+		t.Error("self-loop accepted")
+	}
+	empty := &Graph{Name: "empty", N: 0}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestGeneratorsNamesAndDegrees(t *testing.T) {
+	if Stencil2D(4, 5).Name != "stencil2d(4x5)" {
+		t.Error("stencil2d name wrong")
+	}
+	if Stencil3D(2, 2, 2).MaxDegree() != 3 {
+		t.Errorf("2x2x2 stencil max degree = %d, want 3", Stencil3D(2, 2, 2).MaxDegree())
+	}
+	if HaloExchange2D(4, 4).MaxDegree() != 4 {
+		t.Error("halo max degree wrong")
+	}
+	if Hypercube(4).MaxDegree() != 4 {
+		t.Error("hypercube max degree wrong")
+	}
+}

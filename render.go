@@ -1,0 +1,19 @@
+package torusmesh
+
+import "torusmesh/internal/render"
+
+// RenderEmbedding draws the host graph as ASCII grid(s) with every node
+// labelled by the row-major index of its guest pre-image — the layout
+// format of Figure 10 in the paper. Hosts of dimension above 2 are drawn
+// as one plane per trailing coordinate.
+func RenderEmbedding(e *Embedding) string { return render.Embedding(e) }
+
+// RenderCircuit draws the graph with every node labelled by its position
+// in the node sequence (Hamiltonian circuits and paths).
+func RenderCircuit(sp Spec, seq []Node) string { return render.Circuit(sp, seq) }
+
+// RenderGrid draws the shape with arbitrary labels; the first coordinate
+// increases upward, matching the paper's figures.
+func RenderGrid(shape Shape, label func(Node) string) string {
+	return render.Grid(shape, label)
+}

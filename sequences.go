@@ -1,0 +1,53 @@
+package torusmesh
+
+import (
+	"torusmesh/internal/gray"
+	"torusmesh/internal/radix"
+)
+
+// GrayF returns f_L(x), the reflected mixed-radix Gray sequence of
+// Definition 9: the acyclic enumeration of all nodes of shape L in which
+// successive nodes are adjacent in both the L-mesh and the L-torus
+// (unit δm- and δt-spread, Lemmas 11-12). It is the paper's dilation-1
+// embedding of a line (Theorem 13).
+func GrayF(L Shape, x int) Node { return gray.F(radix.Base(L), x) }
+
+// GrayFInv returns the position of node v in the sequence f_L.
+func GrayFInv(L Shape, v Node) int { return gray.FInv(radix.Base(L), v) }
+
+// GrayG returns g_L(x), the cyclic sequence of Definition 15 with
+// δm-spread at most 2: the paper's dilation-2 embedding of a ring in a
+// mesh (Theorem 17), optimal for odd sizes and for lines.
+func GrayG(L Shape, x int) Node { return gray.G(radix.Base(L), x) }
+
+// GrayGInv returns the position of node v in the cyclic sequence g_L.
+func GrayGInv(L Shape, v Node) int { return gray.GInv(radix.Base(L), v) }
+
+// GrayH returns h_L(x), the cyclic sequence of Definition 22 with unit
+// δt-spread (and unit δm-spread when l1 is even): the paper's dilation-1
+// embedding of a ring in a torus (Theorem 28) and, after permuting an
+// even length to the front, in an even-size mesh (Theorem 24).
+func GrayH(L Shape, x int) Node { return gray.H(radix.Base(L), x) }
+
+// GrayHInv returns the position of node v in the cyclic sequence h_L.
+func GrayHInv(L Shape, v Node) int { return gray.HInv(radix.Base(L), v) }
+
+// CyclicT returns t_n(x), the cyclic sequence 0, 2, 4, ..., 5, 3, 1 of
+// Definition 14 whose successive values differ by at most 2. It is the
+// coordinate map of the same-shape torus-into-mesh embedding T_L
+// (Definition 35).
+func CyclicT(n, x int) int { return gray.TN(n, x) }
+
+// CyclicTInv returns the position of value y in the sequence t_n.
+func CyclicTInv(n, y int) int { return gray.TNInv(n, y) }
+
+// GraySequence materializes the whole sequence f_L as nodes 0..n-1; the
+// classic binary reflected Gray code is the all-twos special case.
+func GraySequence(L Shape) []Node {
+	n := L.Size()
+	out := make([]Node, n)
+	for x := 0; x < n; x++ {
+		out[x] = gray.F(radix.Base(L), x)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package torusmesh
+
+import (
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/taskgraph"
+)
+
+// TaskGraph is an undirected communication graph over tasks 0..N-1.
+type TaskGraph = taskgraph.Graph
+
+// Network is a simulated torus or mesh machine with one router per node,
+// dimension-ordered (minimal) routing, and one packet per link per cycle.
+type Network = netsim.Network
+
+// Placement maps task index to router index (row-major).
+type Placement = netsim.Placement
+
+// SimResult aggregates one simulated communication phase: cycles to
+// drain, packet count, max/mean hop counts and peak link load.
+type SimResult = netsim.Result
+
+// NewNetwork builds a simulated machine from a spec.
+func NewNetwork(sp Spec) *Network { return netsim.New(sp) }
+
+// Simulate runs one communication phase of the task graph under the
+// placement (every task edge sends one packet each way).
+func Simulate(nw *Network, tg *TaskGraph, p Placement) (SimResult, error) {
+	return netsim.Simulate(nw, tg, p)
+}
+
+// CongestionStats summarizes static per-link load of a placement under
+// dimension-ordered routing (no time simulation).
+type CongestionStats = netsim.CongestionStats
+
+// Congestion computes the static congestion of a placement: the peak
+// number of task-edge routes sharing one directed link, total traffic
+// volume, and the number of used links.
+func Congestion(nw *Network, tg *TaskGraph, p Placement) (CongestionStats, error) {
+	return netsim.Congestion(nw, tg, p)
+}
+
+// PlacementFromEmbedding converts an embedding whose host is the machine
+// into a placement of the guest's row-major task indices.
+func PlacementFromEmbedding(e *Embedding) Placement {
+	return netsim.PlacementFromEmbedding(e)
+}
+
+// IdentityPlacement places task i on router i — the naive baseline.
+func IdentityPlacement(n int) Placement { return netsim.IdentityPlacement(n) }
+
+// Task graph generators for the application patterns the paper's
+// introduction cites (image processing, robotics, scientific computing).
+
+// Pipeline returns a line-shaped task graph of n stages.
+func Pipeline(n int) *TaskGraph { return taskgraph.Pipeline(n) }
+
+// RingPipeline returns a ring-shaped task graph of n stages.
+func RingPipeline(n int) *TaskGraph { return taskgraph.RingPipeline(n) }
+
+// Stencil2D returns the 5-point stencil communication pattern.
+func Stencil2D(rows, cols int) *TaskGraph { return taskgraph.Stencil2D(rows, cols) }
+
+// Stencil3D returns the 7-point stencil communication pattern.
+func Stencil3D(x0, x1, x2 int) *TaskGraph { return taskgraph.Stencil3D(x0, x1, x2) }
+
+// HaloExchange2D returns the periodic 5-point stencil (torus) pattern.
+func HaloExchange2D(rows, cols int) *TaskGraph { return taskgraph.HaloExchange2D(rows, cols) }
+
+// HypercubeExchange returns the dimension-exchange pattern of size 2^d.
+func HypercubeExchange(d int) *TaskGraph { return taskgraph.Hypercube(d) }
+
+// TaskGraphFromSpec converts any torus or mesh into a task graph.
+func TaskGraphFromSpec(sp Spec) *TaskGraph { return taskgraph.FromSpec(sp) }

@@ -1,0 +1,83 @@
+package torusmesh
+
+import (
+	"torusmesh/internal/core"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+)
+
+// Kind distinguishes toruses (wrap-around edges) from meshes.
+type Kind = grid.Kind
+
+// The two graph families of the paper.
+const (
+	KindTorus = grid.Torus
+	KindMesh  = grid.Mesh
+)
+
+// Shape is the list of dimension lengths (l1, ..., ld), every entry >= 2.
+type Shape = grid.Shape
+
+// Node is a coordinate list (i1, ..., id) with ij in [lj].
+type Node = grid.Node
+
+// Spec identifies a concrete graph: a family plus a shape.
+type Spec = grid.Spec
+
+// Embedding is an injection of a guest graph's nodes into a host graph's
+// nodes, carrying the paper's dilation guarantee (Predicted) and exact
+// measurement (Dilation).
+type Embedding = embed.Embedding
+
+// Torus returns the torus with the given dimension lengths.
+func Torus(lengths ...int) Spec { return grid.TorusSpec(lengths...) }
+
+// Mesh returns the mesh with the given dimension lengths.
+func Mesh(lengths ...int) Spec { return grid.MeshSpec(lengths...) }
+
+// Ring returns the ring (1-dimensional torus) of size n.
+func Ring(n int) Spec { return grid.RingSpec(n) }
+
+// Line returns the line (1-dimensional mesh) of size n.
+func Line(n int) Spec { return grid.LineSpec(n) }
+
+// Hypercube returns the hypercube of 2^d nodes (as a torus spec; torus
+// and mesh coincide for all-twos shapes and Embed exploits that freely).
+func Hypercube(d int) Spec { return grid.MustSpec(grid.Torus, grid.Hypercube(d)) }
+
+// SquareTorus returns the d-dimensional torus with every length l.
+func SquareTorus(d, l int) Spec { return grid.MustSpec(grid.Torus, grid.Square(d, l)) }
+
+// SquareMesh returns the d-dimensional mesh with every length l.
+func SquareMesh(d, l int) Spec { return grid.MustSpec(grid.Mesh, grid.Square(d, l)) }
+
+// ParseSpec parses "torus:4x2x3", "mesh:6x9", "ring:24" or "line:24".
+func ParseSpec(s string) (Spec, error) { return grid.ParseSpec(s) }
+
+// ParseShape parses "4x2x3".
+func ParseShape(s string) (Shape, error) { return grid.ParseShape(s) }
+
+// Embed constructs an embedding of g in h using the cheapest construction
+// the paper offers for the pair: basic (guest dimension 1), coordinate
+// permutation (equal dimension), expansion (increasing dimension), simple
+// or general reduction (lowering dimension), or the square-graph chains of
+// Section 5. It fails when the sizes differ or no construction applies.
+func Embed(g, h Spec) (*Embedding, error) { return core.Embed(g, h) }
+
+// MustEmbed is Embed but panics on error; intended for examples and
+// fixed shapes known to satisfy the paper's conditions.
+func MustEmbed(g, h Spec) *Embedding {
+	e, err := core.Embed(g, h)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// PredictedDilation returns the dilation guarantee Embed attaches for
+// the pair without needing the caller to inspect the embedding.
+func PredictedDilation(g, h Spec) (int, error) { return core.Predicted(g, h) }
+
+// Distance returns the graph distance between two nodes of the spec
+// (Lemmas 5 and 6: the L1 metric, cyclic per dimension for toruses).
+func Distance(sp Spec, a, b Node) int { return sp.Distance(a, b) }
