@@ -76,3 +76,25 @@ func ExportEmbedding(e *Embedding) ([]byte, error) { return embed.Export(e) }
 // ImportEmbedding reconstructs and verifies an embedding exported by
 // ExportEmbedding.
 func ImportEmbedding(data []byte) (*Embedding, error) { return embed.Import(data) }
+
+// EmbeddingKernel is a compiled batch evaluator over row-major ranks:
+// EvalBatch(dst, src) writes the host rank of each guest rank src[i]
+// into dst[i]. Every Embedding exposes one via its Kernel method; the
+// measurement paths (Dilation, AverageDilation, Verify) and the netsim
+// placement pipeline run on it.
+type EmbeddingKernel = embed.Kernel
+
+// MapRanks evaluates the embedding over a batch of guest row-major
+// ranks, writing host ranks into dst (len(dst) must equal len(src)).
+// This is the index-native bulk form of Map for runtime systems that
+// store placements as rank tables.
+func MapRanks(e *Embedding, dst, src []int) { e.EvalBatch(dst, src) }
+
+// SetMaterializeThreshold sets the guest-size cutoff (in nodes) below
+// which embedding kernels are materialized into lookup tables on first
+// use. n <= 0 disables materialization; the default is
+// embed.DefaultMaterializeThreshold (1<<22).
+func SetMaterializeThreshold(n int) { embed.SetMaterializeThreshold(n) }
+
+// MaterializeThreshold returns the current materialization cutoff.
+func MaterializeThreshold() int { return embed.MaterializeThreshold() }

@@ -151,6 +151,34 @@ func BenchmarkDilationMeasure4096(b *testing.B) {
 	}
 }
 
+// BenchmarkDilationPerNodeTorus32 vs BenchmarkDilationBatchTorus32: the
+// per-node closure walk against the compiled batch kernel on a
+// 32x32x32 torus-into-mesh embedding (32768 nodes, 98304 edges). The
+// batch path must be at least 2x faster with at least 10x fewer
+// allocs/op.
+func BenchmarkDilationPerNodeTorus32(b *testing.B) {
+	e := torusmesh.MustEmbed(torusmesh.SquareTorus(3, 32), torusmesh.SquareMesh(3, 32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := e.DilationPerNode(); d != 2 {
+			b.Fatalf("dilation %d", d)
+		}
+	}
+}
+
+func BenchmarkDilationBatchTorus32(b *testing.B) {
+	e := torusmesh.MustEmbed(torusmesh.SquareTorus(3, 32), torusmesh.SquareMesh(3, 32))
+	e.Kernel() // materialize outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := e.Dilation(); d != 2 {
+			b.Fatalf("dilation %d", d)
+		}
+	}
+}
+
 func BenchmarkVerify4096(b *testing.B) {
 	e := torusmesh.MustEmbed(torusmesh.Ring(4096), torusmesh.Mesh(16, 16, 16))
 	b.ResetTimer()

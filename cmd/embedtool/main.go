@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"torusmesh"
 )
@@ -24,18 +25,22 @@ func main() {
 	draw := flag.Bool("draw", false, "draw the host labelled by guest indices (Figure 10 style)")
 	jsonOut := flag.String("json", "", "write the embedding as JSON to this file ('-' for stdout)")
 	verify := flag.Bool("verify", true, "verify injectivity and the dilation guarantee")
+	threshold := flag.Int("threshold", torusmesh.MaterializeThreshold(),
+		"guest-size cutoff for kernel table materialization (<= 0 disables)")
+	timing := flag.Bool("time", false, "report wall time of the batch measurement")
 	flag.Parse()
 	if *from == "" || *to == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*from, *to, *showTable, *draw, *verify, *jsonOut); err != nil {
+	torusmesh.SetMaterializeThreshold(*threshold)
+	if err := run(*from, *to, *showTable, *draw, *verify, *timing, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "embedtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fromStr, toStr string, showTable, draw, verify bool, jsonOut string) error {
+func run(fromStr, toStr string, showTable, draw, verify, timing bool, jsonOut string) error {
 	g, err := torusmesh.ParseSpec(fromStr)
 	if err != nil {
 		return err
@@ -53,6 +58,7 @@ func run(fromStr, toStr string, showTable, draw, verify bool, jsonOut string) er
 	fmt.Printf("strategy:   %s\n", e.Strategy)
 	fmt.Printf("guarantee:  dilation <= %d\n", e.Predicted)
 	if verify {
+		start := time.Now()
 		if err := e.Verify(); err != nil {
 			return err
 		}
@@ -60,8 +66,13 @@ func run(fromStr, toStr string, showTable, draw, verify bool, jsonOut string) er
 		if err != nil {
 			return err
 		}
-		fmt.Printf("measured:   dilation = %d (average %.3f)\n", d, e.AverageDilation())
+		avg := e.AverageDilation()
+		elapsed := time.Since(start)
+		fmt.Printf("measured:   dilation = %d (average %.3f)\n", d, avg)
 		fmt.Printf("lower bound: %d\n", torusmesh.DilationLowerBound(g, h))
+		if timing {
+			fmt.Printf("measured in: %s (batch kernel, %d nodes)\n", elapsed, g.Size())
+		}
 	}
 	if showTable {
 		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)

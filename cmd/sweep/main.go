@@ -15,9 +15,11 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"torusmesh/internal/catalog"
 	"torusmesh/internal/core"
+	"torusmesh/internal/embed"
 	"torusmesh/internal/grid"
 )
 
@@ -25,7 +27,11 @@ func main() {
 	n := flag.Int("n", 24, "graph size (number of nodes)")
 	maxDim := flag.Int("maxdim", 0, "cap on shape dimension (0 = unlimited)")
 	showShapes := flag.Bool("shapes", false, "list the canonical shapes first")
+	threshold := flag.Int("threshold", embed.MaterializeThreshold(),
+		"guest-size cutoff for kernel table materialization (<= 0 disables)")
+	timing := flag.Bool("time", false, "report the wall time of the sweep")
 	flag.Parse()
+	embed.SetMaterializeThreshold(*threshold)
 	if *n < 2 {
 		fmt.Fprintln(os.Stderr, "sweep: -n must be at least 2")
 		os.Exit(2)
@@ -36,6 +42,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	start := time.Now()
 	failures := 0
 	census := catalog.Coverage(*n, *maxDim, func(g, h grid.Spec) (string, error) {
 		e, err := core.Embed(g, h)
@@ -67,4 +74,7 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%d\n", k, census.ByStrategy[k])
 	}
 	tw.Flush()
+	if *timing {
+		fmt.Printf("\nswept in %s (batch verify + dilation over every pair)\n", time.Since(start))
+	}
 }

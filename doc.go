@@ -34,6 +34,24 @@
 //     dilation drives communication latency when task graphs are placed
 //     on torus/mesh machines — the paper's motivating application.
 //
+// # The batch engine
+//
+// Embeddings carry two evaluation forms. Map is the per-node closure of
+// Definition 1. Kernel is the compiled, index-native form: a batch
+// evaluator over row-major ranks. Every construction in the paper is
+// digit-separable — each guest coordinate independently determines a
+// fixed set of host digits — so the engine compiles it into a
+// per-digit contribution table (host rank = Σ_i contrib[i][digit_i]),
+// and guests up to SetMaterializeThreshold nodes materialize into flat
+// lookup tables whose compositions fuse into a single table. The
+// measurement paths (Dilation, AverageDilation, Verify) enumerate guest
+// edges in rank blocks striped across GOMAXPROCS workers and use
+// rank-native distance reductions, making them several times faster
+// than the per-node walks (kept as DilationPerNode and friends) with
+// near-zero steady-state allocation. MapRanks exposes bulk evaluation
+// for runtime systems that store placements as rank tables; the netsim
+// routing and congestion pipelines run on the same worker pool.
+//
 // All public entry points are thin veneers over the internal packages;
 // see DESIGN.md for the module map and EXPERIMENTS.md for the
 // reproduction of every figure and claim in the paper.

@@ -1,0 +1,3 @@
+module torusmesh
+
+go 1.24

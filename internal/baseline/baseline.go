@@ -90,16 +90,12 @@ func OurHypercubeLine(d int) int { return 1 << (d - 1) }
 // with row-major index x maps to host node with row-major index x. This
 // is the "sequence P" baseline — correct but oblivious to proximity.
 func RowMajor(g, h grid.Spec) (*embed.Embedding, error) {
-	return embed.New(g, h, "baseline/row-major", 0, func(n grid.Node) grid.Node {
-		return h.Shape.NodeAt(g.Shape.Index(n))
-	})
+	return embed.NewIndexed(g, h, "baseline/row-major", 0, func(x int) int { return x })
 }
 
 // Reversal returns the index-reversal embedding, a second trivial
 // baseline (worst-case-ish for locality).
 func Reversal(g, h grid.Spec) (*embed.Embedding, error) {
 	n := g.Size()
-	return embed.New(g, h, "baseline/reversal", 0, func(node grid.Node) grid.Node {
-		return h.Shape.NodeAt(n - 1 - g.Shape.Index(node))
-	})
+	return embed.NewIndexed(g, h, "baseline/reversal", 0, func(x int) int { return n - 1 - x })
 }

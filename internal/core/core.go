@@ -63,8 +63,9 @@ func Embed(g, h grid.Spec) (*embed.Embedding, error) {
 	if eg.Kind == g.Kind && eh.Kind == h.Kind {
 		return e, nil
 	}
-	// Re-wrap with the caller's kinds (same shapes, same adjacency).
-	return embed.New(g, h, e.Strategy, e.Predicted, e.Map)
+	// Re-wrap with the caller's kinds (same shapes, same adjacency),
+	// keeping the compiled kernel.
+	return e.WithSpecs(g, h)
 }
 
 func dispatch(g, h grid.Spec) (*embed.Embedding, error) {
@@ -220,14 +221,14 @@ func embedBasic(g, h grid.Spec) (*embed.Embedding, error) {
 	n := g.Size()
 	if g.Kind == grid.Mesh {
 		// A line embeds anywhere with unit dilation (Theorem 13).
-		return embed.New(g, h, "basic/f_L", 1, func(node grid.Node) grid.Node {
+		return embed.NewSeparable(g, h, "basic/f_L", 1, func(node grid.Node) grid.Node {
 			return gray.F(L, node[0])
 		})
 	}
 	// Guest is a ring.
 	if h.Kind == grid.Torus {
 		// Theorem 28: unit dilation into any torus.
-		return embed.New(g, h, "basic/h_L", 1, func(node grid.Node) grid.Node {
+		return embed.NewSeparable(g, h, "basic/h_L", 1, func(node grid.Node) grid.Node {
 			return gray.H(L, node[0])
 		})
 	}
@@ -248,12 +249,12 @@ func embedBasic(g, h grid.Spec) (*embed.Embedding, error) {
 			return nil, fmt.Errorf("core: internal error building L* for %s", h)
 		}
 		base := radix.Base(lStar)
-		return embed.New(g, h, "basic/π∘h_L*", 1, func(node grid.Node) grid.Node {
+		return embed.NewSeparable(g, h, "basic/π∘h_L*", 1, func(node grid.Node) grid.Node {
 			return grid.Node(perm.Apply(pi, gray.H(base, node[0])))
 		})
 	}
 	// Theorem 17: dilation 2, optimal for odd meshes and lines of size > 2.
-	return embed.New(g, h, "basic/g_L", 2, func(node grid.Node) grid.Node {
+	return embed.NewSeparable(g, h, "basic/g_L", 2, func(node grid.Node) grid.Node {
 		return gray.G(L, node[0])
 	})
 }

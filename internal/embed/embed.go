@@ -4,17 +4,32 @@
 // (the maximum host distance between the images of adjacent guest nodes).
 // It also provides the composition, identity and coordinate-permutation
 // embeddings the paper uses as glue between construction steps.
+//
+// Every embedding carries two evaluation forms. Map is the per-node
+// closure form used by the paper's definitions and by small consumers.
+// Kernel is the compiled, index-native form: a batch evaluator over
+// row-major ranks (see kernel.go) that the measurement paths — Dilation,
+// AverageDilation, Verify — drive over blocked edge enumeration striped
+// across GOMAXPROCS workers. Constructions register their closed forms
+// with NewSeparable/NewIndexed/NewKernel; closures registered with New
+// fall back to a decode-map-encode adapter. Kernels of guests at or
+// below MaterializeThreshold() are materialized into lookup tables on
+// first use, and composing materialized steps fuses their tables.
 package embed
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
 	"torusmesh/internal/perm"
 )
 
 // Embedding is an injection from the nodes of From to the nodes of To.
-// Map must be a pure function; nodes passed to Map are not retained.
+// Map must be a pure function safe for concurrent calls; nodes passed
+// to Map are not retained or mutated.
 type Embedding struct {
 	From, To grid.Spec
 	// Strategy names the construction that produced the embedding, e.g.
@@ -24,10 +39,17 @@ type Embedding struct {
 	// for this construction, or 0 if no guarantee is recorded.
 	Predicted int
 	mapFn     func(grid.Node) grid.Node
+	kernel    Kernel
+
+	matOnce  sync.Once
+	matDone  atomic.Bool
+	matTable Table
 }
 
 // New builds an embedding from a node map. The sizes of the two specs
-// must agree (the paper studies same-size embeddings only).
+// must agree (the paper studies same-size embeddings only). The batch
+// kernel falls back to a decode-map-encode adapter around fn; prefer
+// NewSeparable or NewIndexed when a compiled form exists.
 func New(from, to grid.Spec, strategy string, predicted int, fn func(grid.Node) grid.Node) (*Embedding, error) {
 	if err := from.Shape.Validate(); err != nil {
 		return nil, fmt.Errorf("embed: guest: %v", err)
@@ -39,7 +61,9 @@ func New(from, to grid.Spec, strategy string, predicted int, fn func(grid.Node) 
 		return nil, fmt.Errorf("embed: guest %s has %d nodes but host %s has %d; sizes must match",
 			from, from.Size(), to, to.Size())
 	}
-	return &Embedding{From: from, To: to, Strategy: strategy, Predicted: predicted, mapFn: fn}, nil
+	e := &Embedding{From: from, To: to, Strategy: strategy, Predicted: predicted, mapFn: fn}
+	e.kernel = nodeMapKernel{from: from, to: to, fn: fn}
+	return e, nil
 }
 
 // Map returns the image of guest node n in the host.
@@ -47,28 +71,93 @@ func (e *Embedding) Map(n grid.Node) grid.Node { return e.mapFn(n) }
 
 // MapIndex maps a guest row-major index to the host row-major index.
 func (e *Embedding) MapIndex(x int) int {
-	return e.To.Shape.Index(e.mapFn(e.From.Shape.NodeAt(x)))
+	var dst, src [1]int
+	src[0] = x
+	e.cachedKernel().EvalBatch(dst[:], src[:])
+	return dst[0]
+}
+
+// cachedKernel returns the materialized table when one already exists,
+// otherwise the raw (unmaterialized) kernel. Unlike Kernel it never
+// triggers materialization, so one-off lookups stay cheap.
+func (e *Embedding) cachedKernel() Kernel {
+	if e.matDone.Load() {
+		return e.matTable
+	}
+	return e.kernel
 }
 
 // Table materializes the embedding as a slice indexed by guest row-major
-// index holding host row-major indices.
+// index holding host row-major indices. The fill runs in parallel
+// blocks; the returned slice is a fresh copy the caller may mutate.
 func (e *Embedding) Table() []int {
-	n := e.From.Size()
-	t := make([]int, n)
-	for x := 0; x < n; x++ {
-		t[x] = e.MapIndex(x)
+	if t, ok := e.cachedKernel().(Table); ok {
+		return append([]int(nil), t...)
 	}
-	return t
+	if e.From.Size() <= MaterializeThreshold() {
+		if t, ok := e.Kernel().(Table); ok {
+			return append([]int(nil), t...)
+		}
+	}
+	// cachedKernel is not a Table here, so Materialize builds a fresh
+	// slice rather than returning an internal one.
+	return Materialize(e.cachedKernel(), e.From.Size())
 }
 
-// Dilation measures the exact dilation cost by walking every edge of the
-// guest and taking the maximum host distance between endpoint images
-// (closed-form distances of Lemmas 5 and 6).
+// rankBufs is a pooled pair of block-sized rank buffers for the
+// measurement paths: workers borrow a pair per span instead of
+// allocating, so sweeps measuring thousands of embeddings stay at
+// near-zero steady-state allocation.
+type rankBufs struct{ a, b []int }
+
+var rankBufPool = sync.Pool{New: func() any {
+	return &rankBufs{
+		a: make([]int, grid.DefaultEdgeBlock),
+		b: make([]int, grid.DefaultEdgeBlock),
+	}
+}}
+
+// Dilation measures the exact dilation cost on the batch path: edge
+// blocks of the guest (VisitEdgesBatchRange) are striped across
+// workers, endpoint ranks are pushed through the compiled kernel, and
+// host distances use the rank-native closed forms of Lemmas 5 and 6.
 func (e *Embedding) Dilation() int {
+	k := e.Kernel()
+	n := e.From.Size()
+	rd := e.To.NewRankDistancer()
+	var mu sync.Mutex
+	max := 0
+	par.Blocks(n, par.Grain(n, 2048), func(lo, hi int) {
+		local := 0
+		bufs := rankBufPool.Get().(*rankBufs)
+		ha, hb := bufs.a, bufs.b
+		e.From.VisitEdgesBatchRange(lo, hi, grid.DefaultEdgeBlock, func(a, b []int) {
+			k.EvalBatch(ha[:len(a)], a)
+			k.EvalBatch(hb[:len(b)], b)
+			if d := rd.Max(ha[:len(a)], hb[:len(b)]); d > local {
+				local = d
+			}
+		})
+		rankBufPool.Put(bufs)
+		mu.Lock()
+		if local > max {
+			max = local
+		}
+		mu.Unlock()
+	})
+	return max
+}
+
+// DilationPerNode is the reference per-node implementation of Dilation:
+// a sequential walk of every guest edge through the Map closure. Kept
+// for parity testing, benchmarking against the batch path, and tiny
+// shapes where spinning up workers is not worth it.
+func (e *Embedding) DilationPerNode() int {
 	max := 0
 	e.From.VisitEdges(func(a, b grid.Node) {
-		d := e.To.Distance(e.mapFn(a.Clone()), e.mapFn(b.Clone()))
-		if d > max {
+		// Map neither mutates nor retains its argument, so the reused
+		// VisitEdges buffers are passed directly.
+		if d := e.To.Distance(e.mapFn(a), e.mapFn(b)); d > max {
 			max = d
 		}
 	})
@@ -76,11 +165,42 @@ func (e *Embedding) Dilation() int {
 }
 
 // AverageDilation returns the mean host distance over all guest edges, a
-// secondary proximity measure used in the experiment reports.
+// secondary proximity measure used in the experiment reports. Runs on
+// the batch path with per-worker partial sums.
 func (e *Embedding) AverageDilation() float64 {
+	k := e.Kernel()
+	n := e.From.Size()
+	rd := e.To.NewRankDistancer()
+	var mu sync.Mutex
+	var sum, count int64
+	par.Blocks(n, par.Grain(n, 2048), func(lo, hi int) {
+		var localSum, localCount int64
+		bufs := rankBufPool.Get().(*rankBufs)
+		ha, hb := bufs.a, bufs.b
+		e.From.VisitEdgesBatchRange(lo, hi, grid.DefaultEdgeBlock, func(a, b []int) {
+			k.EvalBatch(ha[:len(a)], a)
+			k.EvalBatch(hb[:len(b)], b)
+			localSum += rd.Sum(ha[:len(a)], hb[:len(b)])
+			localCount += int64(len(a))
+		})
+		rankBufPool.Put(bufs)
+		mu.Lock()
+		sum += localSum
+		count += localCount
+		mu.Unlock()
+	})
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// AverageDilationPerNode is the reference per-node implementation of
+// AverageDilation, kept alongside DilationPerNode.
+func (e *Embedding) AverageDilationPerNode() float64 {
 	sum, count := 0, 0
 	e.From.VisitEdges(func(a, b grid.Node) {
-		sum += e.To.Distance(e.mapFn(a.Clone()), e.mapFn(b.Clone()))
+		sum += e.To.Distance(e.mapFn(a), e.mapFn(b))
 		count++
 	})
 	if count == 0 {
@@ -91,28 +211,68 @@ func (e *Embedding) AverageDilation() float64 {
 
 // Verify checks that the embedding is a well-formed injection: every
 // image is in bounds and no two guest nodes share an image. Since guest
-// and host have equal size, injectivity implies bijectivity.
+// and host have equal size, injectivity implies bijectivity. Images are
+// evaluated in parallel blocks and claimed in a shared atomic bitset.
 func (e *Embedding) Verify() error {
+	k := e.Kernel()
 	n := e.From.Size()
-	seen := make([]bool, n)
-	for x := 0; x < n; x++ {
-		img := e.mapFn(e.From.Shape.NodeAt(x))
-		if !img.InBounds(e.To.Shape) {
-			return fmt.Errorf("embed: %s: image %s of node %s out of bounds for host %s",
-				e.Strategy, img, e.From.Shape.NodeAt(x), e.To)
+	words := make([]uint32, (n+31)/32)
+	var mu sync.Mutex
+	var firstErr error
+	var failed atomic.Bool
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		idx := e.To.Shape.Index(img)
-		if seen[idx] {
-			return fmt.Errorf("embed: %s: host node %s has two pre-images (second is %s)",
-				e.Strategy, img, e.From.Shape.NodeAt(x))
-		}
-		seen[idx] = true
+		mu.Unlock()
+		failed.Store(true)
 	}
-	return nil
+	par.Blocks(n, par.Grain(n, 2048), func(lo, hi int) {
+		bufs := rankBufPool.Get().(*rankBufs)
+		defer rankBufPool.Put(bufs)
+		dst, src := bufs.a, bufs.b
+		for blockLo := lo; blockLo < hi; blockLo += grid.DefaultEdgeBlock {
+			if failed.Load() {
+				return
+			}
+			blockHi := blockLo + grid.DefaultEdgeBlock
+			if blockHi > hi {
+				blockHi = hi
+			}
+			s := src[:blockHi-blockLo]
+			d := dst[:blockHi-blockLo]
+			for i := range s {
+				s[i] = blockLo + i
+			}
+			k.EvalBatch(d, s)
+			for i, v := range d {
+				if v < 0 || v >= n {
+					record(fmt.Errorf("embed: %s: image of node %s (host rank %d) out of bounds for host %s",
+						e.Strategy, e.From.Shape.NodeAt(blockLo+i), v, e.To))
+					return
+				}
+				w := &words[v>>5]
+				bit := uint32(1) << (v & 31)
+				for {
+					old := atomic.LoadUint32(w)
+					if old&bit != 0 {
+						record(fmt.Errorf("embed: %s: host node %s has two pre-images (one is %s)",
+							e.Strategy, e.To.Shape.NodeAt(v), e.From.Shape.NodeAt(blockLo+i)))
+						return
+					}
+					if atomic.CompareAndSwapUint32(w, old, old|bit) {
+						break
+					}
+				}
+			}
+		}
+	})
+	return firstErr
 }
 
 // CheckPredicted verifies that the measured dilation does not exceed the
-// recorded guarantee. It returns the measured dilation.
+// recorded guarantee. It returns the measured dilation (batch path).
 func (e *Embedding) CheckPredicted() (int, error) {
 	d := e.Dilation()
 	if e.Predicted > 0 && d > e.Predicted {
@@ -127,7 +287,9 @@ func (e *Embedding) CheckPredicted() (int, error) {
 // match exactly. Dilation costs multiply (each unit step in G spreads to
 // at most first.Predicted steps in the middle graph, each of which
 // spreads to at most second.Predicted steps in the host), so the
-// composite guarantee is the product when both parts carry one.
+// composite guarantee is the product when both parts carry one. Kernels
+// compose too: already-materialized steps fuse into a single table;
+// otherwise the stages chain and fuse on first materialization.
 func Compose(first, second *Embedding) (*Embedding, error) {
 	if first.To.Kind != second.From.Kind || !first.To.Shape.Equal(second.From.Shape) {
 		return nil, fmt.Errorf("embed: cannot compose %s -> %s with %s -> %s: intermediate specs differ",
@@ -138,9 +300,15 @@ func Compose(first, second *Embedding) (*Embedding, error) {
 		pred = first.Predicted * second.Predicted
 	}
 	strategy := first.Strategy + " ∘ " + second.Strategy
-	return New(first.From, second.To, strategy, pred, func(n grid.Node) grid.Node {
-		return second.mapFn(first.mapFn(n))
+	f1, f2 := first.mapFn, second.mapFn
+	e, err := New(first.From, second.To, strategy, pred, func(n grid.Node) grid.Node {
+		return f2(f1(n))
 	})
+	if err != nil {
+		return nil, err
+	}
+	e.kernel = composeKernels(first.cachedKernel(), second.cachedKernel())
+	return e, nil
 }
 
 // ComposeAll chains a pipeline of embeddings left to right.
@@ -166,7 +334,12 @@ func Identity(from, to grid.Spec) (*Embedding, error) {
 	if !from.Shape.Equal(to.Shape) {
 		return nil, fmt.Errorf("embed: identity requires equal shapes, got %s and %s", from.Shape, to.Shape)
 	}
-	return New(from, to, "identity", 1, func(n grid.Node) grid.Node { return n.Clone() })
+	e, err := New(from, to, "identity", 1, func(n grid.Node) grid.Node { return n.Clone() })
+	if err != nil {
+		return nil, err
+	}
+	e.kernel = identityKernel{}
+	return e, nil
 }
 
 // Permute returns the coordinate-permutation embedding of G into the
@@ -186,19 +359,17 @@ func Permute(from grid.Spec, p perm.Perm, toKind grid.Kind) (*Embedding, error) 
 		return nil, err
 	}
 	pc := append(perm.Perm(nil), p...)
-	return New(from, to, "permute", 1, func(n grid.Node) grid.Node {
+	return NewSeparable(from, to, "permute", 1, func(n grid.Node) grid.Node {
 		return grid.Node(perm.Apply(pc, n))
 	})
 }
 
 // FromTable builds an embedding from an explicit guest-index to
-// host-index table.
+// host-index table. The table is the kernel.
 func FromTable(from, to grid.Spec, strategy string, predicted int, table []int) (*Embedding, error) {
 	if len(table) != from.Size() {
 		return nil, fmt.Errorf("embed: table has %d entries, want %d", len(table), from.Size())
 	}
-	t := append([]int(nil), table...)
-	return New(from, to, strategy, predicted, func(n grid.Node) grid.Node {
-		return to.Shape.NodeAt(t[from.Shape.Index(n)])
-	})
+	t := append(Table(nil), table...)
+	return NewKernel(from, to, strategy, predicted, t)
 }

@@ -1,0 +1,342 @@
+package embed
+
+// This file is the compiled, index-native half of the package: instead
+// of evaluating an embedding one grid.Node at a time through closures,
+// a Kernel maps blocks of guest row-major ranks to host ranks. The
+// measurement paths (Dilation, AverageDilation, Verify) and the batch
+// consumers (netsim placements, sweeps, codecs) run entirely on ranks,
+// which removes the per-node coordinate allocations and lets the work
+// stripe across GOMAXPROCS workers.
+//
+// Three compiled forms cover every construction in the paper:
+//
+//   - Table: the fully materialized map. Any kernel over a guest of at
+//     most MaterializeThreshold() nodes is materialized into a Table on
+//     first use, and composing two materialized steps fuses them into a
+//     single table instead of chaining evaluations.
+//   - DigitKernel: the closed form for every one of Ma & Tao's
+//     constructions. Each guest coordinate independently determines a
+//     fixed set of host digits, so the host rank is a sum of
+//     per-coordinate contributions: host(x) = Σ_i contrib[i][digit_i(x)].
+//     CompileSeparable builds the tables by probing the node map once
+//     per (dimension, digit value) — Σ l_i probes in total.
+//   - chainKernel: composition fallback for oversized intermediates;
+//     stages evaluate in place over the same block.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
+)
+
+// Kernel evaluates an embedding over row-major ranks in batches.
+// Implementations must be safe for concurrent EvalBatch calls and must
+// tolerate dst and src aliasing the same slice (every implementation
+// reads src[i] before writing dst[i]).
+type Kernel interface {
+	// EvalBatch writes the host rank of guest rank src[i] into dst[i]
+	// for every i. len(dst) must equal len(src).
+	EvalBatch(dst, src []int)
+}
+
+// DefaultMaterializeThreshold is the default guest-size cutoff below
+// which kernels are materialized into lookup tables on first use:
+// 1<<22 ranks (a 32 MiB table on 64-bit).
+const DefaultMaterializeThreshold = 1 << 22
+
+var materializeThreshold atomic.Int64
+
+func init() { materializeThreshold.Store(DefaultMaterializeThreshold) }
+
+// MaterializeThreshold returns the current guest-size cutoff for
+// automatic table materialization.
+func MaterializeThreshold() int { return int(materializeThreshold.Load()) }
+
+// SetMaterializeThreshold sets the guest-size cutoff for automatic
+// table materialization. n <= 0 disables materialization. Embeddings
+// that already materialized keep their tables.
+func SetMaterializeThreshold(n int) { materializeThreshold.Store(int64(n)) }
+
+// Table is a fully materialized kernel: Table[x] is the host rank of
+// guest rank x.
+type Table []int
+
+// EvalBatch implements Kernel by lookup.
+func (t Table) EvalBatch(dst, src []int) {
+	for i, x := range src {
+		dst[i] = t[x]
+	}
+}
+
+// IndexFunc adapts a pure rank-to-rank function to the Kernel
+// interface. The function must be safe for concurrent calls.
+type IndexFunc func(int) int
+
+// EvalBatch implements Kernel.
+func (f IndexFunc) EvalBatch(dst, src []int) {
+	for i, x := range src {
+		dst[i] = f(x)
+	}
+}
+
+// identityKernel maps every rank to itself (identity embeddings and
+// the row-major baseline).
+type identityKernel struct{}
+
+func (identityKernel) EvalBatch(dst, src []int) { copy(dst, src) }
+
+// DigitKernel is the compiled form of a digit-separable node map: each
+// guest coordinate independently determines a fixed set of host
+// digits, so the host rank decomposes as
+//
+//	host(x) = Σ_i contrib[i][digit_i(x)]
+//
+// where digit_i(x) is the i-th row-major digit of guest rank x. All of
+// the paper's construction maps (permutations, T_L, F_V/G_V/H_V, U_V,
+// and the general-reduction supernode maps) are of this shape.
+type DigitKernel struct {
+	lengths []int   // guest dimension lengths, leftmost first
+	contrib [][]int // contrib[i][v]: host-rank contribution of digit v at dim i
+}
+
+// EvalBatch implements Kernel: decode digits right-to-left and sum the
+// per-dimension contributions. Allocation-free.
+func (k *DigitKernel) EvalBatch(dst, src []int) {
+	lengths, contrib := k.lengths, k.contrib
+	for i, x := range src {
+		sum := 0
+		for j := len(lengths) - 1; j >= 0; j-- {
+			l := lengths[j]
+			sum += contrib[j][x%l]
+			x /= l
+		}
+		dst[i] = sum
+	}
+}
+
+// CompileSeparable compiles a digit-separable node map into a
+// DigitKernel by probing fn at the all-zeros guest node and at each
+// single-coordinate value — Σ_i l_i + 1 evaluations in total. fn MUST
+// map each guest coordinate independently to a fixed set of host digit
+// positions (true for every construction in the paper); the compiled
+// kernel is only guaranteed to agree with fn under that condition, and
+// the package's parity tests enforce it for every producer.
+func CompileSeparable(from, to grid.Spec, fn func(grid.Node) grid.Node) *DigitKernel {
+	d := from.Dim()
+	probe := make(grid.Node, d)
+	base := to.Shape.Index(fn(probe))
+	contrib := make([][]int, d)
+	for i, l := range from.Shape {
+		row := make([]int, l)
+		for v := 1; v < l; v++ {
+			probe[i] = v
+			row[v] = to.Shape.Index(fn(probe)) - base
+		}
+		probe[i] = 0
+		contrib[i] = row
+	}
+	// Fold the base offset into dimension 0 so evaluation is a pure sum.
+	for v := range contrib[0] {
+		contrib[0][v] += base
+	}
+	return &DigitKernel{lengths: append([]int(nil), from.Shape...), contrib: contrib}
+}
+
+// nodeMapKernel adapts a per-node closure to the batch interface: it
+// decodes each rank into a reused coordinate buffer, applies the map,
+// and re-encodes. Out-of-bounds images encode as rank -1 so Verify
+// reports them as such rather than aliasing them onto valid hosts.
+// This is the uncompiled fallback for embeddings built with New.
+type nodeMapKernel struct {
+	from, to grid.Spec
+	fn       func(grid.Node) grid.Node
+}
+
+func (k nodeMapKernel) EvalBatch(dst, src []int) {
+	scratch := make(grid.Node, k.from.Dim()) // one alloc per block, not per node
+	shape := k.from.Shape
+	for i, x := range src {
+		shape.NodeInto(scratch, x)
+		img := k.fn(scratch)
+		if !img.InBounds(k.to.Shape) {
+			dst[i] = -1
+			continue
+		}
+		dst[i] = k.to.Shape.Index(img)
+	}
+}
+
+// chainKernel evaluates a composition stage by stage over the same
+// block. Stage 0 reads src; later stages rewrite dst in place, which
+// every Kernel implementation supports. A stage fed the out-of-bounds
+// sentinel (-1, produced by nodeMapKernel when a closure maps outside
+// the host) must pass it through untouched so Verify can report it
+// instead of a lookup panicking on a negative index.
+type chainKernel struct{ steps []Kernel }
+
+func (k chainKernel) EvalBatch(dst, src []int) {
+	k.steps[0].EvalBatch(dst, src)
+	for _, s := range k.steps[1:] {
+		clean := true
+		for _, v := range dst {
+			if v < 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			s.EvalBatch(dst, dst)
+			continue
+		}
+		// Rare (broken-embedding) path: evaluate element-wise, keeping
+		// the sentinel.
+		var one [1]int
+		for i, v := range dst {
+			if v < 0 {
+				continue
+			}
+			one[0] = v
+			s.EvalBatch(one[:], one[:])
+			dst[i] = one[0]
+		}
+	}
+}
+
+// composeKernels chains two kernels, flattening nested chains and
+// fusing adjacent materialized tables into one.
+func composeKernels(first, second Kernel) Kernel {
+	if t1, ok := first.(Table); ok {
+		if t2, ok := second.(Table); ok {
+			return FuseTables(t1, t2)
+		}
+	}
+	var steps []Kernel
+	for _, k := range []Kernel{first, second} {
+		if c, ok := k.(chainKernel); ok {
+			steps = append(steps, c.steps...)
+		} else {
+			steps = append(steps, k)
+		}
+	}
+	return chainKernel{steps: steps}
+}
+
+// FuseTables collapses two materialized steps into a single table:
+// fused[x] = second[first[x]]. The out-of-bounds sentinel (-1) in the
+// first step passes through so Verify can still report it.
+func FuseTables(first, second Table) Table {
+	fused := make(Table, len(first))
+	par.Blocks(len(first), par.Grain(len(first), 4096), func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if v := first[x]; v >= 0 {
+				fused[x] = second[v]
+			} else {
+				fused[x] = v
+			}
+		}
+	})
+	return fused
+}
+
+// Materialize evaluates k over [0, n) in parallel blocks and returns
+// the resulting table. When k is already a Table it is returned as is
+// (not copied); callers handing the result to user code must copy.
+func Materialize(k Kernel, n int) Table {
+	if t, ok := k.(Table); ok {
+		return t
+	}
+	out := make(Table, n)
+	par.Blocks(n, par.Grain(n, 4096), func(lo, hi int) {
+		src := make([]int, 0, grid.DefaultEdgeBlock)
+		for blockLo := lo; blockLo < hi; blockLo += grid.DefaultEdgeBlock {
+			blockHi := blockLo + grid.DefaultEdgeBlock
+			if blockHi > hi {
+				blockHi = hi
+			}
+			src = src[:blockHi-blockLo]
+			for i := range src {
+				src[i] = blockLo + i
+			}
+			k.EvalBatch(out[blockLo:blockHi], src)
+		}
+	})
+	return out
+}
+
+// Kernel returns the compiled batch evaluator of the embedding. When
+// the guest has at most MaterializeThreshold() nodes the kernel is
+// materialized into a Table on first call and cached, so composed
+// pipelines collapse to a single lookup per rank.
+func (e *Embedding) Kernel() Kernel {
+	n := e.From.Size()
+	if n <= MaterializeThreshold() {
+		e.matOnce.Do(func() {
+			e.matTable = Materialize(e.kernel, n)
+			e.matDone.Store(true)
+		})
+		return e.matTable
+	}
+	return e.kernel
+}
+
+// EvalBatch writes the host rank of guest rank src[i] into dst[i] for
+// every i, using the compiled kernel.
+func (e *Embedding) EvalBatch(dst, src []int) { e.Kernel().EvalBatch(dst, src) }
+
+// NewIndexed builds an embedding directly from a rank-to-rank map. The
+// node-level Map is derived from the kernel, so the public surface
+// stays identical to closure-built embeddings.
+func NewIndexed(from, to grid.Spec, strategy string, predicted int, fn func(int) int) (*Embedding, error) {
+	return NewKernel(from, to, strategy, predicted, IndexFunc(fn))
+}
+
+// NewKernel builds an embedding from an explicit kernel, deriving the
+// per-node Map adapter from it.
+func NewKernel(from, to grid.Spec, strategy string, predicted int, k Kernel) (*Embedding, error) {
+	e, err := New(from, to, strategy, predicted, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.kernel = k
+	e.mapFn = func(n grid.Node) grid.Node {
+		var dst, src [1]int
+		src[0] = from.Shape.Index(n)
+		k.EvalBatch(dst[:], src[:])
+		return to.Shape.NodeAt(dst[0])
+	}
+	return e, nil
+}
+
+// NewSeparable builds an embedding from a digit-separable node map
+// (every construction of the paper is one: each guest coordinate
+// independently determines a fixed set of host digits). The map is
+// compiled into a DigitKernel by probing — see CompileSeparable — and
+// kept as the per-node Map, so Map-vs-kernel parity is testable.
+func NewSeparable(from, to grid.Spec, strategy string, predicted int, fn func(grid.Node) grid.Node) (*Embedding, error) {
+	e, err := New(from, to, strategy, predicted, fn)
+	if err != nil {
+		return nil, err
+	}
+	e.kernel = CompileSeparable(from, to, fn)
+	return e, nil
+}
+
+// WithSpecs returns an embedding with the same node map and kernel but
+// re-labelled guest/host specs — used when a hypercube (simultaneously
+// a torus and a mesh) was embedded under one interpretation and the
+// caller wants the other. Shapes must match exactly; only kinds may
+// differ.
+func (e *Embedding) WithSpecs(from, to grid.Spec) (*Embedding, error) {
+	if !from.Shape.Equal(e.From.Shape) || !to.Shape.Equal(e.To.Shape) {
+		return nil, fmt.Errorf("embed: WithSpecs requires identical shapes, got %s -> %s for %s -> %s",
+			from.Shape, to.Shape, e.From.Shape, e.To.Shape)
+	}
+	out, err := New(from, to, e.Strategy, e.Predicted, e.mapFn)
+	if err != nil {
+		return nil, err
+	}
+	out.kernel = e.cachedKernel() // reuse an already-materialized table
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package embed
+
+import (
+	"testing"
+
+	"torusmesh/internal/gray"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+)
+
+func TestTableKernelEvalBatch(t *testing.T) {
+	k := Table{3, 1, 0, 2}
+	src := []int{0, 1, 2, 3, 0}
+	dst := make([]int, len(src))
+	k.EvalBatch(dst, src)
+	want := []int{3, 1, 0, 2, 3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+	// Aliased dst/src must work (chain stages evaluate in place).
+	k.EvalBatch(src, src)
+	for i := range want {
+		if src[i] != want[i] {
+			t.Fatalf("in-place dst = %v, want %v", src, want)
+		}
+	}
+}
+
+func TestCompileSeparableMatchesMap(t *testing.T) {
+	from := grid.MustSpec(grid.Torus, grid.Shape{4, 2, 3})
+	to := grid.MustSpec(grid.Mesh, grid.Shape{3, 4, 2})
+	p := perm.Perm{2, 0, 1}
+	fn := func(n grid.Node) grid.Node { return grid.Node(perm.Apply(p, n)) }
+	k := CompileSeparable(from, to, fn)
+	n := from.Size()
+	src := make([]int, n)
+	dst := make([]int, n)
+	for x := range src {
+		src[x] = x
+	}
+	k.EvalBatch(dst, src)
+	for x := 0; x < n; x++ {
+		want := to.Shape.Index(fn(from.Shape.NodeAt(x)))
+		if dst[x] != want {
+			t.Fatalf("kernel(%d) = %d, want %d", x, dst[x], want)
+		}
+	}
+}
+
+func TestMaterializationAndFusion(t *testing.T) {
+	old := MaterializeThreshold()
+	defer SetMaterializeThreshold(old)
+
+	a := grid.MustSpec(grid.Mesh, grid.Shape{4, 2, 3})
+	b := grid.MustSpec(grid.Mesh, grid.Shape{3, 4, 2})
+	e1, err := Permute(a, perm.Perm{2, 0, 1}, grid.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Permute(e1.To, perm.Perm{1, 2, 0}, grid.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+
+	// Under the threshold both steps materialize; composing the
+	// materialized steps must fuse them into a single Table kernel.
+	SetMaterializeThreshold(1 << 20)
+	if _, ok := e1.Kernel().(Table); !ok {
+		t.Fatalf("step 1 kernel is %T, want Table", e1.Kernel())
+	}
+	if _, ok := e2.Kernel().(Table); !ok {
+		t.Fatalf("step 2 kernel is %T, want Table", e2.Kernel())
+	}
+	c, err := Compose(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.cachedKernel().(Table); !ok {
+		t.Fatalf("composed kernel is %T, want fused Table", c.cachedKernel())
+	}
+	for x := 0; x < a.Size(); x++ {
+		want := e2.MapIndex(e1.MapIndex(x))
+		if got := c.MapIndex(x); got != want {
+			t.Fatalf("fused(%d) = %d, want %d", x, got, want)
+		}
+	}
+
+	// With materialization disabled the composition must chain, not
+	// fuse, and still agree.
+	SetMaterializeThreshold(0)
+	e3, _ := Permute(a, perm.Perm{2, 0, 1}, grid.Mesh)
+	e4, _ := Permute(e3.To, perm.Perm{1, 2, 0}, grid.Mesh)
+	c2, err := Compose(e3, e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Kernel().(Table); ok {
+		t.Fatal("composition materialized despite a disabled threshold")
+	}
+	for x := 0; x < a.Size(); x++ {
+		if got, want := c2.MapIndex(x), c.MapIndex(x); got != want {
+			t.Fatalf("chained(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestBatchMeasurementMatchesPerNode(t *testing.T) {
+	from := grid.MustSpec(grid.Torus, grid.Shape{6, 5, 4})
+	to := grid.MustSpec(grid.Mesh, grid.Shape{6, 5, 4})
+	e, err := NewSeparable(from, to, "T_L", 2, func(n grid.Node) grid.Node {
+		out := make(grid.Node, len(n))
+		for i, x := range n {
+			out[i] = gray.TN(from.Shape[i], x)
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Dilation(), e.DilationPerNode(); got != want {
+		t.Fatalf("batch dilation %d != per-node %d", got, want)
+	}
+	if got, want := e.AverageDilation(), e.AverageDilationPerNode(); got != want {
+		t.Fatalf("batch average %v != per-node %v", got, want)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithSpecsKeepsKernelAndRejectsShapeChange(t *testing.T) {
+	from := grid.MustSpec(grid.Mesh, grid.Shape{2, 2, 2})
+	to := grid.MustSpec(grid.Torus, grid.Shape{2, 2, 2})
+	e, err := Identity(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := e.WithSpecs(grid.MustSpec(grid.Torus, grid.Shape{2, 2, 2}), from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.kernel.(identityKernel); !ok {
+		t.Fatalf("rewrapped kernel is %T, want identityKernel", w.kernel)
+	}
+	if _, err := e.WithSpecs(grid.MustSpec(grid.Mesh, grid.Shape{4, 2}), to); err == nil {
+		t.Fatal("WithSpecs accepted a shape change")
+	}
+}
+
+func TestVerifyBatchCatchesAliasedOutOfBounds(t *testing.T) {
+	// An image out of bounds coordinate-wise whose rank would alias an
+	// in-bounds host node: the kernel must not silently alias it.
+	from := grid.MustSpec(grid.Mesh, grid.Shape{3, 3})
+	e, err := New(from, from, "alias-oob", 0, func(n grid.Node) grid.Node {
+		if n[0] == 2 && n[1] == 2 {
+			return grid.Node{1, 5} // rank 8 if naively encoded: 1*3+5
+		}
+		return n.Clone()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err == nil {
+		t.Fatal("Verify accepted an out-of-bounds image that aliases a valid rank")
+	}
+}
+
+func TestTableReturnsFreshCopy(t *testing.T) {
+	// Even with materialization disabled (so the kernel itself is the
+	// table), Table() must hand out a copy the caller may mutate.
+	old := MaterializeThreshold()
+	SetMaterializeThreshold(0)
+	defer SetMaterializeThreshold(old)
+	line := grid.LineSpec(6)
+	e, err := FromTable(line, line, "t", 0, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := e.Table()
+	tab[0] = 99
+	if got := e.MapIndex(0); got != 0 {
+		t.Fatalf("mutating Table() result corrupted the embedding: MapIndex(0) = %d", got)
+	}
+}
+
+func TestComposedOutOfBoundsReportsNotPanics(t *testing.T) {
+	// A closure-built first step that maps one node out of host bounds,
+	// composed with a compiled (table/digit) second step: the -1
+	// sentinel must flow through the chain — and through table fusion —
+	// into a Verify error rather than a negative-index panic.
+	line := grid.LineSpec(6)
+	bad, err := New(line, line, "oob", 0, func(n grid.Node) grid.Node {
+		if n[0] == 3 {
+			return grid.Node{7} // out of bounds for line(6)
+		}
+		return n.Clone()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Permute(line, perm.Perm{0}, grid.Mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []int{1 << 20, 0} { // fused table and live chain
+		old := MaterializeThreshold()
+		SetMaterializeThreshold(threshold)
+		c, err := Compose(bad, second)
+		if err != nil {
+			SetMaterializeThreshold(old)
+			t.Fatal(err)
+		}
+		if err := c.Verify(); err == nil {
+			SetMaterializeThreshold(old)
+			t.Fatalf("threshold %d: composed out-of-bounds embedding passed Verify", threshold)
+		}
+		SetMaterializeThreshold(old)
+	}
+}
+
+// --- Benchmarks: per-node closure walk vs compiled batch kernels ---------
+//
+// The acceptance gate of the engine: on a >= 32^3-node shape the batch
+// path must be at least 2x faster with at least 10x fewer allocs/op
+// than the per-node path. Run with:
+//
+//	go test ./internal/embed -bench Dilation -benchmem
+
+func benchEmbedding(b *testing.B) *Embedding {
+	b.Helper()
+	from := grid.MustSpec(grid.Torus, grid.Shape{32, 32, 32})
+	to := grid.MustSpec(grid.Mesh, grid.Shape{32, 32, 32})
+	e, err := NewSeparable(from, to, "bench/T_L", 2, func(n grid.Node) grid.Node {
+		out := make(grid.Node, len(n))
+		for i, x := range n {
+			out[i] = gray.TN(from.Shape[i], x)
+		}
+		return out
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkDilationPerNode(b *testing.B) {
+	e := benchEmbedding(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := e.DilationPerNode(); d != 2 {
+			b.Fatalf("dilation %d", d)
+		}
+	}
+}
+
+func BenchmarkDilationBatch(b *testing.B) {
+	e := benchEmbedding(b)
+	e.Kernel() // materialize outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := e.Dilation(); d != 2 {
+			b.Fatalf("dilation %d", d)
+		}
+	}
+}
+
+func BenchmarkVerifyBatch(b *testing.B) {
+	e := benchEmbedding(b)
+	e.Kernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -258,7 +258,10 @@ func WithFactor(g, h grid.Spec, f Factor) (*embed.Embedding, error) {
 	default:
 		fn, name, predicted = GV(f), "expansion/π∘G_V", 2
 	}
-	return embed.New(g, h, name, predicted, func(n grid.Node) grid.Node {
+	// Every Theorem 32 map is digit-separable: guest coordinate i
+	// independently determines its block of host digits, so the whole
+	// embedding compiles to a per-digit contribution table.
+	return embed.NewSeparable(g, h, name, predicted, func(n grid.Node) grid.Node {
 		return grid.Node(perm.Apply(pi, fn(n)))
 	})
 }

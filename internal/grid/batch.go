@@ -1,0 +1,222 @@
+package grid
+
+// This file is the index-native substrate of the batch embedding
+// engine: row-major strides, a rank-level distance function, and a
+// blocked edge iterator that enumerates the same edges as VisitEdges
+// but delivers them as parallel slices of endpoint ranks, sliceable
+// into disjoint node ranges for parallel measurement.
+
+// DefaultEdgeBlock is the default number of edges per block handed to
+// VisitEdgesBatch callbacks. Large enough to amortize the callback and
+// keep kernels in their tight loops, small enough to stay cache-warm.
+const DefaultEdgeBlock = 8192
+
+// Strides returns the row-major weights of the shape: Strides()[j] is
+// the rank delta of incrementing coordinate j, so
+// Index(n) = Σ n[j]·Strides()[j]. (These are the radix weights w of
+// Definition 7, without the leading w0 = n.)
+func (s Shape) Strides() []int {
+	d := len(s)
+	w := make([]int, d)
+	acc := 1
+	for j := d - 1; j >= 0; j-- {
+		w[j] = acc
+		acc *= s[j]
+	}
+	return w
+}
+
+// NodeInto writes the row-major coordinates of rank x into dst, the
+// allocation-free form of NodeAt for batch consumers. dst must have
+// length Dim().
+func (s Shape) NodeInto(dst Node, x int) {
+	idxToNode(s, x, dst)
+}
+
+// DistanceRank returns the graph distance between the nodes with
+// row-major ranks a and b without materializing coordinates — the
+// rank-native form of Lemmas 5 and 6. One-off convenience form of
+// RankDistancer; block consumers should compile a RankDistancer once.
+func (sp Spec) DistanceRank(a, b int) int {
+	return sp.NewRankDistancer().one(a, b)
+}
+
+// RankDistancer is a compiled block reducer over rank-pair distances:
+// construction hoists the shape, kind, and — when every dimension
+// length is a power of two (hypercubes and the Theorem 33 family) — the
+// shift/mask digit decode out of the per-edge loop, replacing the
+// serial division chain with independent shifts.
+type RankDistancer struct {
+	shape Shape
+	torus bool
+	pow2  bool
+	shift []uint // shift[j]: trailing zero count of stride j
+	mask  []int  // mask[j]: shape[j]-1
+}
+
+// NewRankDistancer compiles the distance reduction for the spec.
+func (sp Spec) NewRankDistancer() *RankDistancer {
+	rd := &RankDistancer{shape: sp.Shape, torus: sp.Kind == Torus, pow2: true}
+	for _, l := range sp.Shape {
+		if l&(l-1) != 0 {
+			rd.pow2 = false
+			break
+		}
+	}
+	if rd.pow2 {
+		d := sp.Dim()
+		rd.shift = make([]uint, d)
+		rd.mask = make([]int, d)
+		var acc uint
+		for j := d - 1; j >= 0; j-- {
+			rd.shift[j] = acc
+			rd.mask[j] = sp.Shape[j] - 1
+			l := sp.Shape[j]
+			for l > 1 {
+				acc++
+				l >>= 1
+			}
+		}
+	}
+	return rd
+}
+
+// one returns the distance between ranks a and b.
+func (rd *RankDistancer) one(a, b int) int {
+	dist := 0
+	if rd.pow2 {
+		for j := len(rd.shape) - 1; j >= 0; j-- {
+			mask := rd.mask[j]
+			diff := (a>>rd.shift[j])&mask - (b>>rd.shift[j])&mask
+			if diff < 0 {
+				diff = -diff
+			}
+			if rd.torus {
+				if w := mask + 1 - diff; w < diff {
+					diff = w
+				}
+			}
+			dist += diff
+		}
+		return dist
+	}
+	ua, ub := uint(a), uint(b)
+	for j := len(rd.shape) - 1; j >= 0; j-- {
+		l := uint(rd.shape[j])
+		diff := int(ua%l) - int(ub%l)
+		ua /= l
+		ub /= l
+		if diff < 0 {
+			diff = -diff
+		}
+		if rd.torus {
+			if w := int(l) - diff; w < diff {
+				diff = w
+			}
+		}
+		dist += diff
+	}
+	return dist
+}
+
+// Max returns the maximum distance over a block of rank pairs — the
+// inner reduction of the batch dilation path.
+func (rd *RankDistancer) Max(ha, hb []int) int {
+	max := 0
+	for i := range ha {
+		if d := rd.one(ha[i], hb[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Sum returns the summed distance over a block of rank pairs — the
+// inner reduction of the batch average-dilation path.
+func (rd *RankDistancer) Sum(ha, hb []int) int64 {
+	var sum int64
+	for i := range ha {
+		sum += int64(rd.one(ha[i], hb[i]))
+	}
+	return sum
+}
+
+// EdgeCountRange returns the number of edges VisitEdgesBatchRange
+// enumerates for source ranks in [lo, hi).
+func (sp Spec) EdgeCountRange(lo, hi int) int {
+	count := 0
+	sp.VisitEdgesBatchRange(lo, hi, DefaultEdgeBlock, func(a, b []int) {
+		count += len(a)
+	})
+	return count
+}
+
+// VisitEdgesBatch enumerates every edge of the graph in blocks: fn is
+// called with parallel slices a, b holding the row-major ranks of the
+// endpoints of up to blockSize edges. The slices are reused between
+// calls; copy them if retained. The edges and their order are exactly
+// those of VisitEdges. blockSize <= 0 selects DefaultEdgeBlock.
+func (sp Spec) VisitEdgesBatch(blockSize int, fn func(a, b []int)) {
+	sp.VisitEdgesBatchRange(0, sp.Size(), blockSize, fn)
+}
+
+// VisitEdgesBatchRange enumerates the edges whose canonical source node
+// (the lower endpoint in VisitEdges order) has rank in [lo, hi). The
+// ranges {[r_i, r_{i+1})} of a partition of [0, Size()) enumerate every
+// edge exactly once between them, which is what lets the measurement
+// paths stripe edge blocks across workers without coordination.
+func (sp Spec) VisitEdgesBatchRange(lo, hi, blockSize int, fn func(a, b []int)) {
+	if blockSize <= 0 {
+		blockSize = DefaultEdgeBlock
+	}
+	n := sp.Size()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return
+	}
+	d := sp.Dim()
+	strides := sp.Shape.Strides()
+	torus := sp.Kind == Torus
+	// Odometer decode of lo once, then O(1) amortized increments.
+	coord := make(Node, d)
+	sp.Shape.NodeInto(coord, lo)
+	bufA := make([]int, 0, blockSize)
+	bufB := make([]int, 0, blockSize)
+	for x := lo; x < hi; x++ {
+		for j := 0; j < d; j++ {
+			l := sp.Shape[j]
+			c := coord[j]
+			// Right neighbor covers every mesh edge once; for toruses
+			// the wrap edge (l-1 -> 0) is also a "right" step, skipped
+			// for l == 2 where it would duplicate the 0 -> 1 edge.
+			if c+1 < l {
+				bufA = append(bufA, x)
+				bufB = append(bufB, x+strides[j])
+			} else if torus && l > 2 {
+				bufA = append(bufA, x)
+				bufB = append(bufB, x-(l-1)*strides[j])
+			}
+			if len(bufA) >= blockSize {
+				fn(bufA, bufB)
+				bufA = bufA[:0]
+				bufB = bufB[:0]
+			}
+		}
+		// Advance the odometer to rank x+1.
+		for j := d - 1; j >= 0; j-- {
+			coord[j]++
+			if coord[j] < sp.Shape[j] {
+				break
+			}
+			coord[j] = 0
+		}
+	}
+	if len(bufA) > 0 {
+		fn(bufA, bufB)
+	}
+}

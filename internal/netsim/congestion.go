@@ -1,6 +1,12 @@
 package netsim
 
-import "torusmesh/internal/taskgraph"
+import (
+	"sync"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
+	"torusmesh/internal/taskgraph"
+)
 
 // CongestionStats summarizes static link congestion: how many task edges
 // route over each directed link under dimension-ordered routing, without
@@ -20,7 +26,10 @@ type CongestionStats struct {
 }
 
 // Congestion computes static congestion of a placement: every task edge
-// contributes its two directed routes.
+// contributes its two directed routes. Edges are striped across workers
+// that accumulate per-worker link loads, merged at the end — the
+// parallel half of the batch measurement pipeline (Dilation being the
+// other half).
 func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats, error) {
 	if err := tg.Validate(); err != nil {
 		return CongestionStats{}, err
@@ -30,19 +39,33 @@ func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats,
 	}
 	load := map[linkKey]int{}
 	stats := CongestionStats{}
-	for _, e := range tg.Edges {
-		for _, pair := range [2][2]int{{p[e[0]], p[e[1]]}, {p[e[1]], p[e[0]]}} {
-			path := nw.Route(pair[0], pair[1])
-			stats.TotalHops += len(path) - 1
-			for i := 0; i+1 < len(path); i++ {
-				k := linkKey{path[i], path[i+1]}
-				load[k]++
-				if load[k] > stats.MaxLink {
-					stats.MaxLink = load[k]
+	var mu sync.Mutex
+	par.Blocks(len(tg.Edges), par.Grain(len(tg.Edges), 256), func(lo, hi int) {
+		cur := make(grid.Node, nw.shape.Dim())
+		target := make(grid.Node, nw.shape.Dim())
+		var path []int
+		localLoad := map[linkKey]int{}
+		localHops := 0
+		for i := lo; i < hi; i++ {
+			e := tg.Edges[i]
+			for _, pair := range [2][2]int{{p[e[0]], p[e[1]]}, {p[e[1]], p[e[0]]}} {
+				path = nw.routeInto(path[:0], pair[0], pair[1], cur, target)
+				localHops += len(path) - 1
+				for k := 0; k+1 < len(path); k++ {
+					localLoad[linkKey{path[k], path[k+1]}]++
 				}
 			}
 		}
-	}
+		mu.Lock()
+		stats.TotalHops += localHops
+		for k, v := range localLoad {
+			load[k] += v
+			if load[k] > stats.MaxLink {
+				stats.MaxLink = load[k]
+			}
+		}
+		mu.Unlock()
+	})
 	stats.UsedLinks = len(load)
 	return stats, nil
 }

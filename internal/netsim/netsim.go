@@ -14,9 +14,11 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"torusmesh/internal/embed"
 	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
 	"torusmesh/internal/taskgraph"
 )
 
@@ -41,9 +43,17 @@ func (nw *Network) Size() int { return nw.n }
 // Dimension-ordered routing on these topologies is minimal, so the path
 // length equals the graph distance of Lemmas 5 and 6.
 func (nw *Network) Route(src, dst int) []int {
-	cur := nw.shape.NodeAt(src)
-	target := nw.shape.NodeAt(dst)
-	path := []int{src}
+	return nw.routeInto(nil, src, dst, make(grid.Node, nw.shape.Dim()), make(grid.Node, nw.shape.Dim()))
+}
+
+// routeInto is Route with caller-provided scratch: the path is appended
+// to buf (which may be nil), and cur/target are reusable coordinate
+// buffers, so parallel route precomputation allocates only the retained
+// paths.
+func (nw *Network) routeInto(buf []int, src, dst int, cur, target grid.Node) []int {
+	nw.shape.NodeInto(cur, src)
+	nw.shape.NodeInto(target, dst)
+	path := append(buf, src)
 	for j, l := range nw.shape {
 		for cur[j] != target[j] {
 			step := 1
@@ -129,6 +139,41 @@ type packet struct {
 	pos  int // index of the router currently holding the packet
 }
 
+// routeAll precomputes the two directed routes of every task edge,
+// striping edges across workers: packet slots 2i and 2i+1 belong to
+// edge i, so writes are disjoint and only the retained paths allocate.
+func (nw *Network) routeAll(tg *taskgraph.Graph, p Placement) (packets []*packet, totalHops, maxHops int) {
+	packets = make([]*packet, 2*len(tg.Edges))
+	var mu sync.Mutex
+	par.Blocks(len(tg.Edges), par.Grain(len(tg.Edges), 256), func(lo, hi int) {
+		cur := make(grid.Node, nw.shape.Dim())
+		target := make(grid.Node, nw.shape.Dim())
+		localTotal, localMax := 0, 0
+		for i := lo; i < hi; i++ {
+			e := tg.Edges[i]
+			a, b := p[e[0]], p[e[1]]
+			fwd := nw.routeInto(nil, a, b, cur, target)
+			bwd := nw.routeInto(nil, b, a, cur, target)
+			packets[2*i] = &packet{path: fwd}
+			packets[2*i+1] = &packet{path: bwd}
+			localTotal += (len(fwd) - 1) + (len(bwd) - 1)
+			if h := len(fwd) - 1; h > localMax {
+				localMax = h
+			}
+			if h := len(bwd) - 1; h > localMax {
+				localMax = h
+			}
+		}
+		mu.Lock()
+		totalHops += localTotal
+		if localMax > maxHops {
+			maxHops = localMax
+		}
+		mu.Unlock()
+	})
+	return packets, totalHops, maxHops
+}
+
 // Simulate runs one communication phase of the task graph under the
 // placement: every task edge sends one packet in each direction; each
 // cycle a directed link transfers at most one packet (FIFO by packet
@@ -140,22 +185,7 @@ func Simulate(nw *Network, tg *taskgraph.Graph, p Placement) (Result, error) {
 	if err := p.Validate(nw, tg.N); err != nil {
 		return Result{}, err
 	}
-	var packets []*packet
-	totalHops := 0
-	maxHops := 0
-	for _, e := range tg.Edges {
-		a, b := p[e[0]], p[e[1]]
-		fwd := nw.Route(a, b)
-		bwd := nw.Route(b, a)
-		packets = append(packets, &packet{path: fwd}, &packet{path: bwd})
-		totalHops += (len(fwd) - 1) + (len(bwd) - 1)
-		if h := len(fwd) - 1; h > maxHops {
-			maxHops = h
-		}
-		if h := len(bwd) - 1; h > maxHops {
-			maxHops = h
-		}
-	}
+	packets, totalHops, maxHops := nw.routeAll(tg, p)
 	res := Result{Packets: len(packets), MaxHops: maxHops}
 	if len(packets) > 0 {
 		res.AvgHops = float64(totalHops) / float64(len(packets))

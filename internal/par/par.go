@@ -1,0 +1,77 @@
+// Package par is the tiny worker-pool substrate behind the batch
+// measurement paths: it stripes a half-open index range across
+// GOMAXPROCS goroutines in contiguous grains. It exists so that the
+// embedding engine, the network simulator and the sweeps all share one
+// deterministic-by-construction parallel loop instead of each growing
+// an ad-hoc one. Callers must make the per-grain work independent
+// (disjoint writes, or commutative merges guarded by the caller).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of goroutines Blocks uses: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Blocks splits [0, n) into contiguous spans of length grain (the last
+// span may be shorter) and calls fn(lo, hi) for every span from a pool
+// of Workers() goroutines. Spans are claimed with an atomic cursor, so
+// the assignment of spans to goroutines is dynamic but the set of spans
+// is fixed. fn must be safe for concurrent invocation on disjoint
+// spans. When n fits in a single grain, or only one worker is
+// available, fn runs inline on the calling goroutine.
+func Blocks(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	workers := Workers()
+	if n <= grain || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	spans := (n + grain - 1) / grain
+	if workers > spans {
+		workers = spans
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= spans {
+					return
+				}
+				lo := s * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Grain picks a span length for striping n items: large enough to
+// amortize scheduling (at least min), small enough that every worker
+// gets several spans for load balance.
+func Grain(n, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	g := n / (4 * Workers())
+	if g < min {
+		g = min
+	}
+	return g
+}

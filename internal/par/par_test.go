@@ -1,0 +1,56 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBlocksCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 4096, 100003} {
+		seen := make([]int32, n)
+		var mu sync.Mutex
+		covered := 0
+		Blocks(n, 64, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad span [%d,%d) for n=%d", lo, hi, n)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Lock()
+			covered += hi - lo
+			mu.Unlock()
+		})
+		if covered != n {
+			t.Fatalf("n=%d: covered %d items", n, covered)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestBlocksInlineSmall(t *testing.T) {
+	calls := 0
+	Blocks(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("want single span [0,10), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("want 1 call, got %d", calls)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	if g := Grain(10, 64); g != 64 {
+		t.Fatalf("small n should clamp to min, got %d", g)
+	}
+	if g := Grain(1<<20, 64); g < 64 {
+		t.Fatalf("grain below min: %d", g)
+	}
+}

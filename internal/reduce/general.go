@@ -161,7 +161,12 @@ func WithGeneralFactor(g, h grid.Spec, f *GeneralFactor) (*embed.Embedding, erro
 		}
 		return grid.Node(perm.Apply(beta, []int(out)))
 	}
-	return embed.New(g, h, name, dilation, fn)
+	// Each host coordinate is flatS[j]*base[j] + offset[j] (or base[j]),
+	// where base[j] depends on one guest coordinate and every offset
+	// digit comes from the expansion of a single multiplier coordinate —
+	// so the host rank is a sum of per-guest-digit contributions and the
+	// map compiles to a DigitKernel.
+	return embed.NewSeparable(g, h, name, dilation, fn)
 }
 
 // FindGeneral searches for a general-reduction factor of L into M,

@@ -232,7 +232,7 @@ func SameShape(g, h grid.Spec) (*embed.Embedding, error) {
 	}
 	if g.Kind == grid.Torus && h.Kind == grid.Mesh && !g.IsHypercube() {
 		fn := TL(g.Shape)
-		return embed.New(g, h, "T_L", 2, fn)
+		return embed.NewSeparable(g, h, "T_L", 2, fn)
 	}
 	return embed.Identity(g, h)
 }
@@ -252,13 +252,16 @@ func WithSimpleFactor(g, h grid.Spec, f SimpleFactor) (*embed.Embedding, error) 
 	uv := UV(f)
 	base := f.Dilation()
 
+	// U_V reads each digit group as a mixed-radix number, so the host
+	// rank is linear in the guest digits (with t_n applied digit-wise on
+	// the torus-into-mesh path) — digit-separable either way.
 	if g.Kind == grid.Torus && h.Kind == grid.Mesh {
 		tl := TL(flat)
-		return embed.New(g, h, "simple-reduction/U_V∘T∘τ", 2*base, func(n grid.Node) grid.Node {
+		return embed.NewSeparable(g, h, "simple-reduction/U_V∘T∘τ", 2*base, func(n grid.Node) grid.Node {
 			return uv(tl(grid.Node(perm.Apply(tau, n))))
 		})
 	}
-	return embed.New(g, h, "simple-reduction/U_V∘τ", base, func(n grid.Node) grid.Node {
+	return embed.NewSeparable(g, h, "simple-reduction/U_V∘τ", base, func(n grid.Node) grid.Node {
 		return uv(grid.Node(perm.Apply(tau, n)))
 	})
 }

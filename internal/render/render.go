@@ -89,10 +89,9 @@ func writeGrid(b *strings.Builder, shape grid.Shape, label func(grid.Node) strin
 // Embedding renders the host graph with each node labelled by the
 // row-major index of its guest pre-image — the format of Figure 10.
 func Embedding(e *embed.Embedding) string {
-	n := e.From.Size()
-	inverse := make(map[int]int, n)
-	for x := 0; x < n; x++ {
-		inverse[e.To.Shape.Index(e.Map(e.From.Shape.NodeAt(x)))] = x
+	inverse := make(map[int]int, e.From.Size())
+	for x, host := range e.Table() {
+		inverse[host] = x
 	}
 	return Grid(e.To.Shape, func(node grid.Node) string {
 		x, ok := inverse[e.To.Shape.Index(node)]
