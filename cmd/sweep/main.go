@@ -1,80 +1,236 @@
-// Command sweep runs the coverage census: for a given size it attempts
-// to embed every ordered pair of canonical torus/mesh shapes of that
-// size (in both kind combinations), verifies each result, and tallies
-// which construction carried each pair.
+// Command sweep is the CLI of the coverage census engine: for a given
+// size it attempts to embed every ordered pair of canonical torus/mesh
+// shapes of that size (in both kind combinations), verifies each
+// result, measures dilation costs, and tallies which construction
+// carried each pair. The pair space shards deterministically across
+// processes, censuses serialize to versioned JSON artifacts, and
+// -merge recombines shard artifacts into the census an unsharded run
+// would have produced, bit for bit.
 //
 // Usage:
 //
 //	sweep -n 24
-//	sweep -n 360 -maxdim 4
+//	sweep -n 360 -maxdim 4 -congestion
+//	sweep -n 360 -shard 2/8 -json s2.json
+//	sweep -merge -json full.json s0.json s1.json ... s7.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"text/tabwriter"
-	"time"
 
 	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
 	"torusmesh/internal/core"
 	"torusmesh/internal/embed"
-	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
 )
 
 func main() {
 	n := flag.Int("n", 24, "graph size (number of nodes)")
 	maxDim := flag.Int("maxdim", 0, "cap on shape dimension (0 = unlimited)")
+	shard := flag.String("shard", "0/1", "evaluate only shard i/m of the pair space (0 <= i < m)")
+	metrics := flag.Bool("metrics", true, "measure dilation and average dilation per pair")
+	congestion := flag.Bool("congestion", false, "measure netsim peak-link congestion per pair")
+	jsonOut := flag.String("json", "", "write the census artifact to this file")
+	merge := flag.Bool("merge", false, "merge the shard artifacts named as arguments instead of sweeping")
 	showShapes := flag.Bool("shapes", false, "list the canonical shapes first")
 	threshold := flag.Int("threshold", embed.MaterializeThreshold(),
 		"guest-size cutoff for kernel table materialization (<= 0 disables)")
 	timing := flag.Bool("time", false, "report the wall time of the sweep")
 	flag.Parse()
+
+	if *merge {
+		runMerge(flag.Args(), *jsonOut)
+		return
+	}
 	embed.SetMaterializeThreshold(*threshold)
 	if *n < 2 {
-		fmt.Fprintln(os.Stderr, "sweep: -n must be at least 2")
-		os.Exit(2)
+		fatalf("sweep: -n must be at least 2")
 	}
+	shardIdx, shardCount, err := parseShard(*shard)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	shapes := catalog.CanonicalShapesOfSize(*n, *maxDim)
 	if *showShapes {
-		for _, s := range catalog.CanonicalShapesOfSize(*n, *maxDim) {
+		for _, s := range shapes {
 			fmt.Println(s)
 		}
 		fmt.Println()
 	}
-	start := time.Now()
-	failures := 0
-	census := catalog.Coverage(*n, *maxDim, func(g, h grid.Spec) (string, error) {
-		e, err := core.Embed(g, h)
-		if err != nil {
-			failures++
-			return "", err
-		}
-		if verr := e.Verify(); verr != nil {
-			return "", fmt.Errorf("%s -> %s failed verification: %v", g, h, verr)
-		}
-		if _, perr := e.CheckPredicted(); perr != nil {
-			return "", fmt.Errorf("%s -> %s broke its guarantee: %v", g, h, perr)
-		}
-		return e.Strategy, nil
+	c, err := census.Run(census.Config{
+		Size:       *n,
+		MaxDim:     *maxDim,
+		Shapes:     shapes,
+		Shard:      shardIdx,
+		Shards:     shardCount,
+		Metrics:    *metrics,
+		Congestion: *congestion,
+		Embed:      core.Embed,
 	})
-	fmt.Printf("size %d: %d canonical shapes, %d ordered (shape,kind) pairs\n",
-		census.Size, census.Shapes, census.Pairs)
-	fmt.Printf("embeddable: %d (%.1f%%), unembeddable: %d\n\n",
-		census.Embeddable, 100*float64(census.Embeddable)/float64(census.Pairs),
-		census.Pairs-census.Embeddable)
-	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "strategy\tpairs")
-	keys := make([]string, 0, len(census.ByStrategy))
-	for k := range census.ByStrategy {
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	report(os.Stdout, c)
+	if *timing {
+		fmt.Printf("\nswept in %s across %d worker(s)", c.Elapsed, par.Workers())
+		if worst := c.SlowestPair(); worst != nil {
+			fmt.Printf("; slowest pair %s -> %s took %s", worst.Guest, worst.Host, worst.Wall)
+		}
+		fmt.Println()
+	}
+	save(c, *jsonOut)
+	exitCode(c)
+}
+
+// runMerge combines shard artifacts, reports the merged census, and
+// optionally writes it back out.
+func runMerge(paths []string, jsonOut string) {
+	if len(paths) == 0 {
+		fatalf("sweep: -merge needs at least one artifact file")
+	}
+	parts := make([]*census.Census, len(paths))
+	for i, p := range paths {
+		c, err := census.ReadFile(p)
+		if err != nil {
+			fatalf("sweep: %v", err)
+		}
+		parts[i] = c
+	}
+	c, err := census.Merge(parts...)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	fmt.Printf("merged %d shard artifact(s)\n", len(parts))
+	report(os.Stdout, c)
+	save(c, jsonOut)
+	exitCode(c)
+}
+
+// report prints the census summary: the coverage header with
+// construction and verification failures reported distinctly, then the
+// per-strategy table with dilation histograms and peak congestion.
+func report(w io.Writer, c *census.Census) {
+	fmt.Fprintf(w, "size %d: %d canonical shapes, %d ordered (shape,kind) pairs",
+		c.Size, len(c.Shapes), c.SpacePairs)
+	if c.Shards > 1 {
+		fmt.Fprintf(w, " (shard %d/%d: %d pairs)", c.Shard, c.Shards, c.Pairs)
+	}
+	fmt.Fprintln(w)
+	pct := 0.0
+	if c.Pairs > 0 {
+		pct = 100 * float64(c.Embeddable) / float64(c.Pairs)
+	}
+	fmt.Fprintf(w, "embeddable: %d (%.1f%%), no construction applies: %d\n",
+		c.Embeddable, pct, c.ConstructFailures)
+	if c.VerifyFailures > 0 {
+		fmt.Fprintf(w, "VERIFICATION FAILURES: %d (constructions built but broke injectivity or their dilation guarantee)\n",
+			c.VerifyFailures)
+		for i := range c.Results {
+			if c.Results[i].FailureStage == census.StageVerify {
+				fmt.Fprintf(w, "  %s -> %s: %s\n", c.Results[i].Guest, c.Results[i].Host, c.Results[i].Failure)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	header := "strategy\tpairs"
+	if c.Metrics {
+		header += "\tdilation histogram"
+	}
+	if c.Congestion {
+		header += "\tpeak congestion"
+	}
+	fmt.Fprintln(tw, header)
+	var hist map[string]map[int]int
+	var peak map[string]int
+	if c.Metrics {
+		hist = c.DilationHistogram()
+	}
+	if c.Congestion {
+		peak = c.PeakCongestion()
+	}
+	keys := make([]string, 0, len(c.ByStrategy))
+	for k := range c.ByStrategy {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(tw, "%s\t%d\n", k, census.ByStrategy[k])
+		fmt.Fprintf(tw, "%s\t%d", k, c.ByStrategy[k])
+		if c.Metrics {
+			fmt.Fprintf(tw, "\t%s", histogram(hist[k]))
+		}
+		if c.Congestion {
+			fmt.Fprintf(tw, "\t%d", peak[k])
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
-	if *timing {
-		fmt.Printf("\nswept in %s (batch verify + dilation over every pair)\n", time.Since(start))
+}
+
+// histogram renders a dilation->count map as "d:count" pairs in
+// increasing dilation order.
+func histogram(h map[int]int) string {
+	if len(h) == 0 {
+		return "-"
 	}
+	ds := make([]int, 0, len(h))
+	for d := range h {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = fmt.Sprintf("%d:%d", d, h[d])
+	}
+	return strings.Join(parts, " ")
+}
+
+func save(c *census.Census, path string) {
+	if path == "" {
+		return
+	}
+	if err := c.WriteFile(path); err != nil {
+		fatalf("sweep: %v", err)
+	}
+}
+
+// exitCode fails the process when any construction broke verification —
+// a library bug, unlike pairs the paper's conditions simply do not
+// cover.
+func exitCode(c *census.Census) {
+	if c.VerifyFailures > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseShard parses "i/m", rejecting any trailing input — a typo like
+// 1/2/8 must not silently evaluate the wrong partition.
+func parseShard(s string) (idx, count int, err error) {
+	before, after, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(before)
+		if err == nil {
+			count, err = strconv.Atoi(after)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard must look like 2/8, got %q", s)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("-shard %d/%d out of range", idx, count)
+	}
+	return idx, count, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

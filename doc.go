@@ -52,6 +52,34 @@
 // for runtime systems that store placements as rank tables; the netsim
 // routing and congestion pipelines run on the same worker pool.
 //
+// # The census engine
+//
+// The repo measures itself with a sharded coverage census
+// (internal/census, CLI: cmd/sweep): for one size, every ordered pair
+// of canonical torus/mesh shapes in both kind combinations is embedded,
+// verified, and measured — strategy, dilation, average dilation,
+// optional peak-link congestion under dimension-ordered routing, and
+// the failure reason split into "no construction applies" versus "a
+// construction broke its guarantee". Pairs are striped across the
+// worker pool, and the pair space partitions deterministically into
+// shards (pair i belongs to shard i mod m), so production-scale sweeps
+// split across processes:
+//
+//	sweep -n 360 -maxdim 4 -shard 0/2 -json s0.json
+//	sweep -n 360 -maxdim 4 -shard 1/2 -json s1.json
+//	sweep -merge -json full.json s0.json s1.json
+//
+// Censuses serialize to versioned JSON artifacts whose encoding is
+// deterministic (fixed field order, sorted map keys, wall times
+// excluded): {version, size, maxdim, shard, shards, metrics,
+// congestion, shapes, space_pairs, pairs, embeddable,
+// construct_failures, verify_failures, by_strategy, results[]}, where
+// each results entry carries {index, guest, host, strategy, predicted,
+// dilation, avg_dilation, congestion, failure, failure_stage}.
+// census.Merge validates size/maxdim/version/flag compatibility,
+// demands each shard exactly once, and reproduces the unsharded census
+// bit for bit — the invariant CI re-checks on every push.
+//
 // All public entry points are thin veneers over the internal packages;
 // see DESIGN.md for the module map and EXPERIMENTS.md for the
 // reproduction of every figure and claim in the paper.

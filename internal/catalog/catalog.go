@@ -6,8 +6,10 @@
 package catalog
 
 import (
+	"fmt"
 	"sort"
 
+	"torusmesh/internal/census"
 	"torusmesh/internal/grid"
 )
 
@@ -97,32 +99,33 @@ type Census struct {
 
 // Coverage runs the census for size n using the given embed function
 // (typically core.Embed). Strategy names are truncated at the first '/'
-// so variants group together.
+// or '[' (census.StrategyKey) so variants group together. It is a thin
+// veneer over the sharded census engine: a single-shard, metrics-off
+// census.Run whose rich features (sharding, per-pair dilation and
+// congestion metrics, mergeable JSON artifacts) live in internal/census.
+//
+// The engine stripes pairs across a worker pool, so embed is called
+// concurrently and must be safe for concurrent use (core.Embed is);
+// closures must not mutate shared state without synchronization.
 func Coverage(n, maxDim int, embed func(g, h grid.Spec) (string, error)) Census {
 	shapes := CanonicalShapesOfSize(n, maxDim)
-	c := Census{Size: n, Shapes: len(shapes), ByStrategy: map[string]int{}}
-	kinds := []grid.Kind{grid.Mesh, grid.Torus}
-	for _, gs := range shapes {
-		for _, hs := range shapes {
-			for _, gk := range kinds {
-				for _, hk := range kinds {
-					c.Pairs++
-					strategy, err := embed(grid.Spec{Kind: gk, Shape: gs}, grid.Spec{Kind: hk, Shape: hs})
-					if err != nil {
-						continue
-					}
-					c.Embeddable++
-					key := strategy
-					for i := 0; i < len(strategy); i++ {
-						if strategy[i] == '/' || strategy[i] == '[' {
-							key = strategy[:i]
-							break
-						}
-					}
-					c.ByStrategy[key]++
-				}
-			}
-		}
+	c, err := census.Run(census.Config{
+		Size:     n,
+		MaxDim:   maxDim,
+		Shapes:   shapes,
+		Strategy: embed,
+	})
+	if err != nil {
+		// Run fails only on misconfiguration, which this veneer cannot
+		// produce: the shapes come from the enumeration it validates
+		// against.
+		panic(fmt.Sprintf("catalog: coverage census misconfigured: %v", err))
 	}
-	return c
+	return Census{
+		Size:       n,
+		Shapes:     len(shapes),
+		Pairs:      c.Pairs,
+		Embeddable: c.Embeddable,
+		ByStrategy: c.ByStrategy,
+	}
 }

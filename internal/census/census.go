@@ -1,0 +1,510 @@
+// Package census is the sharded coverage engine behind the repo's
+// central empirical claim: which fraction of same-size torus/mesh pairs
+// the paper's constructions embed, and at what cost. Run evaluates the
+// ordered (shape, kind) × (shape, kind) pair space of one size —
+// shapes enumerated by internal/catalog and passed in via Config — on
+// an internal/par worker pool, producing one PairResult per pair:
+// strategy, measured dilation, average dilation, optional netsim
+// peak-link congestion, wall time, and the failure reason split by
+// stage (construction vs verification).
+//
+// The pair space partitions deterministically into shards (pair i
+// belongs to shard i mod m), so production-scale sweeps split across
+// processes: each process runs one shard, serializes its census to a
+// versioned JSON artifact, and Merge recombines the artifacts into the
+// same census a single unsharded run would have produced, bit for bit.
+package census
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/par"
+	"torusmesh/internal/taskgraph"
+)
+
+// EmbedFunc builds the embedding for one pair — typically core.Embed.
+// It must be safe for concurrent calls.
+type EmbedFunc func(g, h grid.Spec) (*embed.Embedding, error)
+
+// StrategyFunc is the legacy strategy-only evaluator of the catalog
+// coverage path: it returns the name of the construction that carried
+// the pair, or an error when none applies. It must be safe for
+// concurrent calls. Strategy-mode censuses record no metrics, and their
+// failures cannot be split by stage (they count as construction
+// failures).
+type StrategyFunc func(g, h grid.Spec) (string, error)
+
+// Config describes one census run.
+type Config struct {
+	// Size is the number of nodes; every shape must multiply out to it.
+	Size int
+	// MaxDim is the shape-dimension cap used during enumeration
+	// (0 = unlimited). Recorded in the artifact and validated by Merge.
+	MaxDim int
+	// Shapes is the canonical shape list of the pair space, typically
+	// catalog.CanonicalShapesOfSize(Size, MaxDim).
+	Shapes []grid.Shape
+	// Shard/Shards select the slice of the pair space this run covers:
+	// pair i is evaluated iff i mod Shards == Shard. The zero value
+	// (0/0) means the whole space.
+	Shard, Shards int
+	// Metrics measures dilation and average dilation for every
+	// embeddable pair and checks the paper's dilation guarantee.
+	Metrics bool
+	// Congestion additionally routes every embeddable pair's guest
+	// edges through the host under dimension-ordered routing and
+	// records the peak directed-link load.
+	Congestion bool
+	// Embed is the rich evaluator; exactly one of Embed and Strategy
+	// must be set. Rich-mode pairs are always verified for injectivity.
+	Embed EmbedFunc
+	// Strategy is the legacy strategy-only evaluator; it implies
+	// Metrics == false and Congestion == false.
+	Strategy StrategyFunc
+}
+
+// Failure stages of a PairResult.
+const (
+	// StageConstruct marks pairs no construction covers (or, in
+	// strategy mode, any evaluator error).
+	StageConstruct = "construct"
+	// StageVerify marks pairs whose construction succeeded but whose
+	// embedding failed verification or broke its dilation guarantee —
+	// always a library bug, reported distinctly from mere non-coverage.
+	StageVerify = "verify"
+)
+
+// PairResult is the outcome of one ordered (guest, host) pair.
+type PairResult struct {
+	// Index is the pair's position in the deterministic enumeration of
+	// the pair space; it determines the pair's shard.
+	Index int    `json:"index"`
+	Guest string `json:"guest"`
+	Host  string `json:"host"`
+	// Strategy is the full name of the construction that carried the
+	// pair ("" when construction failed).
+	Strategy string `json:"strategy,omitempty"`
+	// Predicted is the paper's dilation guarantee (0 = none recorded).
+	Predicted int `json:"predicted,omitempty"`
+	// Dilation and AvgDilation are measured over every guest edge
+	// (metrics censuses only).
+	Dilation    int     `json:"dilation,omitempty"`
+	AvgDilation float64 `json:"avg_dilation,omitempty"`
+	// Congestion is the peak directed-link load under dimension-ordered
+	// routing (congestion censuses only).
+	Congestion int `json:"congestion,omitempty"`
+	// Failure is the failure reason, with FailureStage saying whether
+	// construction or verification failed.
+	Failure      string `json:"failure,omitempty"`
+	FailureStage string `json:"failure_stage,omitempty"`
+	// Wall is the evaluation wall time of the pair. It is deliberately
+	// excluded from the JSON artifact so that artifacts are
+	// deterministic and shard merges reproduce unsharded censuses bit
+	// for bit; report timing out of band.
+	Wall time.Duration `json:"-"`
+}
+
+// Census is the (mergeable, serializable) outcome of a census run. All
+// aggregate fields are derived from Results; Merge recomputes them.
+type Census struct {
+	Version    int      `json:"version"`
+	Size       int      `json:"size"`
+	MaxDim     int      `json:"maxdim"`
+	Shard      int      `json:"shard"`
+	Shards     int      `json:"shards"`
+	Metrics    bool     `json:"metrics"`
+	Congestion bool     `json:"congestion"`
+	Shapes     []string `json:"shapes"`
+	// SpacePairs is the size of the full pair space; Pairs is the
+	// number evaluated in this artifact's shard.
+	SpacePairs        int            `json:"space_pairs"`
+	Pairs             int            `json:"pairs"`
+	Embeddable        int            `json:"embeddable"`
+	ConstructFailures int            `json:"construct_failures"`
+	VerifyFailures    int            `json:"verify_failures"`
+	ByStrategy        map[string]int `json:"by_strategy"`
+	Results           []PairResult   `json:"results"`
+	// Elapsed is the run's wall time, excluded from the artifact for
+	// the same determinism reason as PairResult.Wall.
+	Elapsed time.Duration `json:"-"`
+}
+
+// StrategyKey truncates a strategy name at the first '/' or '[' so
+// construction variants group together in coverage tallies — the single
+// home of the truncation rule shared by the census aggregates, the
+// sweep reports and the legacy catalog coverage path.
+func StrategyKey(strategy string) string {
+	for i := 0; i < len(strategy); i++ {
+		if strategy[i] == '/' || strategy[i] == '[' {
+			return strategy[:i]
+		}
+	}
+	return strategy
+}
+
+// kinds is the fixed kind order of the pair space enumeration.
+var kinds = [2]grid.Kind{grid.Mesh, grid.Torus}
+
+// specs expands the shape list into the (shape, kind) spec list: each
+// shape contributes its mesh then its torus.
+func (cfg *Config) specs() []grid.Spec {
+	out := make([]grid.Spec, 0, 2*len(cfg.Shapes))
+	for _, s := range cfg.Shapes {
+		for _, k := range kinds {
+			out = append(out, grid.Spec{Kind: k, Shape: s})
+		}
+	}
+	return out
+}
+
+// validate normalizes the zero shard spec and rejects misconfiguration.
+func (cfg *Config) validate() error {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return fmt.Errorf("census: shard %d/%d out of range", cfg.Shard, cfg.Shards)
+	}
+	if (cfg.Embed == nil) == (cfg.Strategy == nil) {
+		return fmt.Errorf("census: exactly one of Embed and Strategy must be set")
+	}
+	if cfg.Strategy != nil && (cfg.Metrics || cfg.Congestion) {
+		return fmt.Errorf("census: metrics and congestion require the rich Embed evaluator")
+	}
+	for _, s := range cfg.Shapes {
+		if s.Size() != cfg.Size {
+			return fmt.Errorf("census: shape %s has %d nodes, want %d", s, s.Size(), cfg.Size)
+		}
+	}
+	return nil
+}
+
+// Run evaluates the config's shard of the pair space and returns its
+// census. Pairs are striped across an internal/par worker pool; the
+// result is deterministic regardless of worker count or scheduling.
+func Run(cfg Config) (*Census, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	specs := cfg.specs()
+	space := len(specs) * len(specs)
+	indices := make([]int, 0, (space+cfg.Shards-1)/cfg.Shards)
+	for i := cfg.Shard; i < space; i += cfg.Shards {
+		indices = append(indices, i)
+	}
+	ev := newEvaluator(&cfg, specs, indices)
+	results := make([]PairResult, len(indices))
+	par.Blocks(len(indices), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := indices[k]
+			results[k] = ev.pair(i, specs[i/len(specs)], specs[i%len(specs)])
+		}
+	})
+	c := &Census{
+		Version:    ArtifactVersion,
+		Size:       cfg.Size,
+		MaxDim:     cfg.MaxDim,
+		Shard:      cfg.Shard,
+		Shards:     cfg.Shards,
+		Metrics:    cfg.Metrics,
+		Congestion: cfg.Congestion,
+		Shapes:     shapeStrings(cfg.Shapes),
+		SpacePairs: space,
+		Results:    results,
+	}
+	c.recount()
+	c.Elapsed = time.Since(start)
+	return c, nil
+}
+
+func shapeStrings(shapes []grid.Shape) []string {
+	out := make([]string, len(shapes))
+	for i, s := range shapes {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// recount rebuilds every aggregate field from Results.
+func (c *Census) recount() {
+	c.Pairs = len(c.Results)
+	c.Embeddable, c.ConstructFailures, c.VerifyFailures = 0, 0, 0
+	c.ByStrategy = map[string]int{}
+	for i := range c.Results {
+		switch c.Results[i].FailureStage {
+		case StageConstruct:
+			c.ConstructFailures++
+		case StageVerify:
+			c.VerifyFailures++
+		default:
+			c.Embeddable++
+			c.ByStrategy[StrategyKey(c.Results[i].Strategy)]++
+		}
+	}
+}
+
+// forStrategy visits every embeddable result under its strategy key —
+// the one grouping rule the artifact-level summaries share.
+func (c *Census) forStrategy(fn func(key string, r *PairResult)) {
+	for i := range c.Results {
+		if c.Results[i].FailureStage != "" {
+			continue
+		}
+		fn(StrategyKey(c.Results[i].Strategy), &c.Results[i])
+	}
+}
+
+// DilationHistogram returns, per strategy key, the distribution of
+// measured dilations over the embeddable pairs that strategy carried.
+// Meaningful for metrics censuses only.
+func (c *Census) DilationHistogram() map[string]map[int]int {
+	out := map[string]map[int]int{}
+	c.forStrategy(func(key string, r *PairResult) {
+		h := out[key]
+		if h == nil {
+			h = map[int]int{}
+			out[key] = h
+		}
+		h[r.Dilation]++
+	})
+	return out
+}
+
+// PeakCongestion returns the worst peak-link load per strategy key.
+// Meaningful for congestion censuses only.
+func (c *Census) PeakCongestion() map[string]int {
+	out := map[string]int{}
+	c.forStrategy(func(key string, r *PairResult) {
+		if r.Congestion > out[key] {
+			out[key] = r.Congestion
+		}
+	})
+	return out
+}
+
+// SlowestPair returns the result whose evaluation took the longest, or
+// nil for an empty census. Wall times exist only in censuses produced
+// by Run in this process — they are not serialized, so decoded or
+// merged artifacts report nothing useful here.
+func (c *Census) SlowestPair() *PairResult {
+	var worst *PairResult
+	for i := range c.Results {
+		if worst == nil || c.Results[i].Wall > worst.Wall {
+			worst = &c.Results[i]
+		}
+	}
+	return worst
+}
+
+// evaluator carries the per-run immutable state the pair workers share:
+// the config, and — when metrics or congestion are on — per-spec
+// compiled distancers and task graphs, built up front so the parallel
+// loop stays lock-free.
+type evaluator struct {
+	cfg        *Config
+	distancers map[string]*grid.RankDistancer // host spec string -> compiled distance
+	graphs     map[string]*taskgraph.Graph    // guest spec string -> edge list
+	scratch    sync.Pool                      // *pairScratch
+}
+
+// pairScratch is the reusable per-worker buffer set of the fast
+// measurement path.
+type pairScratch struct {
+	ha, hb []int    // gathered host ranks of one edge block
+	seen   []uint32 // bitset of claimed host ranks (verification)
+}
+
+func newEvaluator(cfg *Config, specs []grid.Spec, indices []int) *evaluator {
+	ev := &evaluator{cfg: cfg}
+	words := (cfg.Size + 31) / 32
+	ev.scratch.New = func() any {
+		return &pairScratch{
+			ha:   make([]int, grid.DefaultEdgeBlock),
+			hb:   make([]int, grid.DefaultEdgeBlock),
+			seen: make([]uint32, words),
+		}
+	}
+	if len(specs) == 0 {
+		return ev
+	}
+	// Only the specs this shard's pair stripe actually touches get a
+	// compiled distancer (hosts) or a task graph (guests): a many-way
+	// shard of a large space visits a fraction of the spec list, and
+	// materialization is O(Size·dim) per spec.
+	hostUsed := make([]bool, len(specs))
+	guestUsed := make([]bool, len(specs))
+	for _, i := range indices {
+		guestUsed[i/len(specs)] = true
+		hostUsed[i%len(specs)] = true
+	}
+	// Materialized distancers only pay off on the table fast path, which
+	// kernels take when guests sit at or below the materialization
+	// threshold; above it (or with materialization disabled) every pair
+	// goes through measureSlow and the precompute would be dead weight.
+	if cfg.Metrics && cfg.Size <= embed.MaterializeThreshold() {
+		ev.distancers = make(map[string]*grid.RankDistancer, len(specs))
+		for si, sp := range specs {
+			if hostUsed[si] {
+				ev.distancers[sp.String()] = sp.NewRankDistancer().Materialize()
+			}
+		}
+	}
+	if cfg.Congestion {
+		ev.graphs = make(map[string]*taskgraph.Graph, len(specs))
+		for si, sp := range specs {
+			if guestUsed[si] {
+				ev.graphs[sp.String()] = taskgraph.FromSpec(sp)
+			}
+		}
+	}
+	return ev
+}
+
+// pair evaluates one ordered (guest, host) pair.
+func (ev *evaluator) pair(idx int, g, h grid.Spec) PairResult {
+	start := time.Now()
+	pr := PairResult{Index: idx, Guest: g.String(), Host: h.String()}
+	if ev.cfg.Strategy != nil {
+		strategy, err := ev.cfg.Strategy(g, h)
+		if err != nil {
+			pr.Failure, pr.FailureStage = err.Error(), StageConstruct
+		} else {
+			pr.Strategy = strategy
+		}
+		pr.Wall = time.Since(start)
+		return pr
+	}
+	e, err := ev.cfg.Embed(g, h)
+	if err != nil {
+		pr.Failure, pr.FailureStage = err.Error(), StageConstruct
+		pr.Wall = time.Since(start)
+		return pr
+	}
+	pr.Strategy, pr.Predicted = e.Strategy, e.Predicted
+	ev.measure(&pr, e, g, h)
+	pr.Wall = time.Since(start)
+	return pr
+}
+
+// measure verifies the embedding and fills in the requested metrics.
+// Guests at or below the materialization threshold take the fast path:
+// the kernel's lookup table is scanned directly (plain bitset, no
+// atomics — pairs are the unit of parallelism here) and dilation and
+// average dilation come from one fused pass over the guest's edge
+// blocks. Larger guests fall back to the embedding's own parallel
+// measurement paths.
+func (ev *evaluator) measure(pr *PairResult, e *embed.Embedding, g, h grid.Spec) {
+	table, _ := e.Kernel().(embed.Table)
+	if table == nil {
+		ev.measureSlow(pr, e, g, h)
+		return
+	}
+	n := g.Size()
+	sc := ev.scratch.Get().(*pairScratch)
+	defer ev.scratch.Put(sc)
+	seen := sc.seen
+	clear(seen)
+	for i, v := range table {
+		if v < 0 || v >= n {
+			pr.Failure = fmt.Sprintf("%s: image of node %s (host rank %d) out of bounds for host %s",
+				e.Strategy, g.Shape.NodeAt(i), v, h)
+			pr.FailureStage = StageVerify
+			return
+		}
+		w := &seen[v>>5]
+		bit := uint32(1) << (v & 31)
+		if *w&bit != 0 {
+			pr.Failure = fmt.Sprintf("%s: host node %s has two pre-images (one is %s)",
+				e.Strategy, h.Shape.NodeAt(v), g.Shape.NodeAt(i))
+			pr.FailureStage = StageVerify
+			return
+		}
+		*w |= bit
+	}
+	if ev.cfg.Metrics {
+		rd := ev.distancers[h.String()]
+		if rd == nil {
+			// A table kernel above the materialization threshold (e.g. an
+			// explicit FromTable embedding) reaches the fast path without
+			// a precomputed distancer; a one-off compile is still cheap.
+			rd = h.NewRankDistancer()
+		}
+		max, sum, edges := 0, int64(0), int64(0)
+		g.VisitEdgesBatchRange(0, n, grid.DefaultEdgeBlock, func(a, b []int) {
+			ha, hb := sc.ha[:len(a)], sc.hb[:len(b)]
+			for i := range a {
+				ha[i] = table[a[i]]
+				hb[i] = table[b[i]]
+			}
+			m, s := rd.MaxSum(ha, hb)
+			if m > max {
+				max = m
+			}
+			sum += s
+			edges += int64(len(a))
+		})
+		pr.Dilation = max
+		if edges > 0 {
+			pr.AvgDilation = float64(sum) / float64(edges)
+		}
+		if !checkPredicted(pr, e, max, g, h) {
+			return
+		}
+	}
+	ev.congest(pr, g, h, netsim.Placement(table))
+}
+
+// measureSlow is the above-threshold fallback: the embedding's own
+// batch-parallel Verify/Dilation/AverageDilation paths.
+func (ev *evaluator) measureSlow(pr *PairResult, e *embed.Embedding, g, h grid.Spec) {
+	if err := e.Verify(); err != nil {
+		pr.Failure, pr.FailureStage = err.Error(), StageVerify
+		return
+	}
+	if ev.cfg.Metrics {
+		d := e.Dilation()
+		pr.Dilation = d
+		pr.AvgDilation = e.AverageDilation()
+		if !checkPredicted(pr, e, d, g, h) {
+			return
+		}
+	}
+	if ev.cfg.Congestion {
+		// PlacementFromEmbedding materializes a table copy, so only pay
+		// for it when congestion is actually measured.
+		ev.congest(pr, g, h, netsim.PlacementFromEmbedding(e))
+	}
+}
+
+// checkPredicted records a verification-stage failure when the measured
+// dilation exceeds the paper's recorded guarantee, reporting whether
+// the pair survived.
+func checkPredicted(pr *PairResult, e *embed.Embedding, measured int, g, h grid.Spec) bool {
+	if e.Predicted > 0 && measured > e.Predicted {
+		pr.Failure = fmt.Sprintf("%s: measured dilation %d exceeds guaranteed %d for %s -> %s",
+			e.Strategy, measured, e.Predicted, g, h)
+		pr.FailureStage = StageVerify
+		return false
+	}
+	return true
+}
+
+// congest records the peak directed-link load of routing the guest's
+// edges through the host under the embedding's placement.
+func (ev *evaluator) congest(pr *PairResult, g, h grid.Spec, p netsim.Placement) {
+	if !ev.cfg.Congestion {
+		return
+	}
+	stats, err := netsim.Congestion(netsim.New(h), ev.graphs[g.String()], p)
+	if err != nil {
+		pr.Failure, pr.FailureStage = err.Error(), StageVerify
+		return
+	}
+	pr.Congestion = stats.MaxLink
+}

@@ -1,0 +1,412 @@
+package census_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+)
+
+// richConfig is the standard metrics-on census of size n.
+func richConfig(n, maxDim int) census.Config {
+	return census.Config{
+		Size:    n,
+		MaxDim:  maxDim,
+		Shapes:  catalog.CanonicalShapesOfSize(n, maxDim),
+		Metrics: true,
+		Embed:   core.Embed,
+	}
+}
+
+func mustRun(t *testing.T, cfg census.Config) *census.Census {
+	t.Helper()
+	c, err := census.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func encode(t *testing.T, c *census.Census) []byte {
+	t.Helper()
+	data, err := c.EncodeBytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// TestShardMergeBitForBit is the core determinism contract: for several
+// (size, shard count) configurations, running every shard separately
+// and merging the artifacts reproduces the unsharded census bit for
+// bit — including with congestion metrics on, and regardless of the
+// order the shards are handed to Merge.
+func TestShardMergeBitForBit(t *testing.T) {
+	cases := []struct {
+		n, maxDim, shards int
+		congestion        bool
+	}{
+		{24, 0, 2, false},
+		{36, 0, 3, false},
+		{16, 0, 4, true},
+		{60, 2, 5, false},
+		// More shards than pairs: most shards are empty.
+		{4, 0, 20, false},
+	}
+	for _, tc := range cases {
+		cfg := richConfig(tc.n, tc.maxDim)
+		cfg.Congestion = tc.congestion
+		full := mustRun(t, cfg)
+		parts := make([]*census.Census, tc.shards)
+		for s := 0; s < tc.shards; s++ {
+			scfg := cfg
+			scfg.Shard, scfg.Shards = s, tc.shards
+			parts[s] = mustRun(t, scfg)
+		}
+		// Hand shards to Merge in rotated order: order must not matter.
+		rotated := append(append([]*census.Census(nil), parts[tc.shards/2:]...), parts[:tc.shards/2]...)
+		merged, err := census.Merge(rotated...)
+		if err != nil {
+			t.Fatalf("n=%d shards=%d: merge: %v", tc.n, tc.shards, err)
+		}
+		want, got := encode(t, full), encode(t, merged)
+		if !bytes.Equal(want, got) {
+			t.Errorf("n=%d shards=%d: merged census differs from unsharded census", tc.n, tc.shards)
+		}
+	}
+}
+
+// TestShardPartition checks the partition itself: shard pair counts sum
+// to the full space and every shard census reports the same space.
+func TestShardPartition(t *testing.T) {
+	cfg := richConfig(24, 0)
+	full := mustRun(t, cfg)
+	total := 0
+	for s := 0; s < 3; s++ {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, 3
+		c := mustRun(t, scfg)
+		total += c.Pairs
+		if c.SpacePairs != full.SpacePairs {
+			t.Errorf("shard %d: space %d, want %d", s, c.SpacePairs, full.SpacePairs)
+		}
+		for i := range c.Results {
+			if c.Results[i].Index%3 != s {
+				t.Errorf("shard %d holds pair %d", s, c.Results[i].Index)
+			}
+		}
+	}
+	if total != full.SpacePairs {
+		t.Errorf("shards cover %d pairs, want %d", total, full.SpacePairs)
+	}
+}
+
+// TestJSONRoundTrip checks that an artifact survives encode/decode
+// byte-for-byte and that merges of decoded artifacts still reproduce
+// the unsharded census.
+func TestJSONRoundTrip(t *testing.T) {
+	c := mustRun(t, richConfig(36, 0))
+	data := encode(t, c)
+	back, err := census.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(data, encode(t, back)) {
+		t.Error("artifact changed across a decode/encode round trip")
+	}
+	if back.Pairs != c.Pairs || back.Embeddable != c.Embeddable || len(back.Results) != len(c.Results) {
+		t.Errorf("round trip lost data: %d/%d pairs, %d/%d embeddable",
+			back.Pairs, c.Pairs, back.Embeddable, c.Embeddable)
+	}
+}
+
+// TestDecodeRejectsBadArtifacts covers version and structural checks.
+func TestDecodeRejectsBadArtifacts(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"wrong version", `{"version": 999, "shards": 1}`},
+		{"zero version", `{"shards": 1}`},
+		{"invalid shard", `{"version": 1, "shard": 5, "shards": 2}`},
+		{"not json", `not json at all`},
+	}
+	for _, tc := range bad {
+		if _, err := census.Decode(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: decode accepted %q", tc.name, tc.doc)
+		}
+	}
+}
+
+// TestMergeRejectsIncompatible covers every compatibility axis Merge
+// validates.
+func TestMergeRejectsIncompatible(t *testing.T) {
+	cfg := richConfig(24, 0)
+	cfg.Shards = 2
+	s0 := mustRun(t, cfg)
+	cfg.Shard = 1
+	s1 := mustRun(t, cfg)
+
+	if _, err := census.Merge(); err == nil {
+		t.Error("merge of nothing succeeded")
+	}
+	if _, err := census.Merge(s0); err == nil {
+		t.Error("merge with missing shard succeeded")
+	}
+	if _, err := census.Merge(s0, s0); err == nil {
+		t.Error("merge with duplicate shard succeeded")
+	}
+	mutations := []struct {
+		name string
+		mut  func(c *census.Census)
+	}{
+		{"size", func(c *census.Census) { c.Size = 25 }},
+		{"maxdim", func(c *census.Census) { c.MaxDim = 3 }},
+		{"version", func(c *census.Census) { c.Version = 2 }},
+		{"shard count", func(c *census.Census) { c.Shards = 4 }},
+		{"metrics flag", func(c *census.Census) { c.Metrics = false }},
+		{"congestion flag", func(c *census.Census) { c.Congestion = true }},
+		{"shape list", func(c *census.Census) { c.Shapes[0] = "9x9" }},
+		{"pair space", func(c *census.Census) { c.SpacePairs++ }},
+	}
+	for _, tc := range mutations {
+		broken := *s1
+		broken.Shapes = append([]string(nil), s1.Shapes...)
+		tc.mut(&broken)
+		if _, err := census.Merge(s0, &broken); err == nil {
+			t.Errorf("merge accepted artifacts with different %s", tc.name)
+		}
+	}
+	// Overlapping results: same shard labelled differently.
+	relabelled := *s0
+	relabelled.Shard = 1
+	if _, err := census.Merge(s0, &relabelled); err == nil {
+		t.Error("merge accepted overlapping pair results")
+	}
+}
+
+// TestMergeOfFullCensusIsIdempotent: a complete unsharded artifact
+// merges with itself alone to the identical artifact.
+func TestMergeOfFullCensusIsIdempotent(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	m, err := census.Merge(c)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, m)) {
+		t.Error("merging a full census with itself changed it")
+	}
+}
+
+// TestWriteReadFile exercises the file-level artifact helpers.
+func TestWriteReadFile(t *testing.T) {
+	c := mustRun(t, richConfig(16, 0))
+	path := t.TempDir() + "/census.json"
+	if err := c.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := census.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, back)) {
+		t.Error("artifact changed across a file round trip")
+	}
+	if _, err := census.ReadFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("reading a missing artifact succeeded")
+	}
+}
+
+// TestMetricsContent sanity-checks the per-pair measurements of a rich
+// census: every embeddable pair has dilation in [1, predicted] and a
+// positive average dilation no larger than the max, and with congestion
+// on every embeddable pair carries at least one route per link peak.
+func TestMetricsContent(t *testing.T) {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	c := mustRun(t, cfg)
+	if c.Embeddable == 0 {
+		t.Fatal("census found nothing embeddable")
+	}
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.FailureStage != "" {
+			continue
+		}
+		if r.Dilation < 1 {
+			t.Errorf("pair %d (%s -> %s): dilation %d", r.Index, r.Guest, r.Host, r.Dilation)
+		}
+		if r.Predicted > 0 && r.Dilation > r.Predicted {
+			t.Errorf("pair %d: dilation %d exceeds guarantee %d yet was not failed", r.Index, r.Dilation, r.Predicted)
+		}
+		if r.AvgDilation <= 0 || r.AvgDilation > float64(r.Dilation) {
+			t.Errorf("pair %d: average dilation %f vs max %d", r.Index, r.AvgDilation, r.Dilation)
+		}
+		if r.Congestion < 1 {
+			t.Errorf("pair %d: peak congestion %d", r.Index, r.Congestion)
+		}
+	}
+	hist := c.DilationHistogram()
+	total := 0
+	for _, byDil := range hist {
+		for _, count := range byDil {
+			total += count
+		}
+	}
+	if total != c.Embeddable {
+		t.Errorf("dilation histogram covers %d pairs, want %d", total, c.Embeddable)
+	}
+}
+
+// TestStrategyModeMatchesLegacyCoverage: the strategy-only engine mode
+// behind catalog.Coverage agrees with the rich mode on coverage counts.
+func TestStrategyModeMatchesLegacyCoverage(t *testing.T) {
+	rich := mustRun(t, richConfig(36, 0))
+	legacy := catalog.Coverage(36, 0, func(g, h grid.Spec) (string, error) {
+		e, err := core.Embed(g, h)
+		if err != nil {
+			return "", err
+		}
+		return e.Strategy, nil
+	})
+	if legacy.Pairs != rich.Pairs || legacy.Embeddable != rich.Embeddable {
+		t.Errorf("legacy coverage %d/%d, rich census %d/%d",
+			legacy.Embeddable, legacy.Pairs, rich.Embeddable, rich.Pairs)
+	}
+	if len(legacy.ByStrategy) != len(rich.ByStrategy) {
+		t.Errorf("strategy keys differ: %v vs %v", legacy.ByStrategy, rich.ByStrategy)
+	}
+	for k, v := range rich.ByStrategy {
+		if legacy.ByStrategy[k] != v {
+			t.Errorf("strategy %s: legacy %d, rich %d", k, legacy.ByStrategy[k], v)
+		}
+	}
+}
+
+// TestConfigValidation covers Run's misconfiguration errors.
+func TestConfigValidation(t *testing.T) {
+	shapes := catalog.CanonicalShapesOfSize(12, 0)
+	strategyFn := func(g, h grid.Spec) (string, error) { return "x", nil }
+	bad := []struct {
+		name string
+		cfg  census.Config
+	}{
+		{"no evaluator", census.Config{Size: 12, Shapes: shapes}},
+		{"two evaluators", census.Config{Size: 12, Shapes: shapes, Embed: core.Embed, Strategy: strategyFn}},
+		{"metrics with strategy mode", census.Config{Size: 12, Shapes: shapes, Strategy: strategyFn, Metrics: true}},
+		{"congestion with strategy mode", census.Config{Size: 12, Shapes: shapes, Strategy: strategyFn, Congestion: true}},
+		{"shard out of range", census.Config{Size: 12, Shapes: shapes, Embed: core.Embed, Shard: 3, Shards: 2}},
+		{"negative shard", census.Config{Size: 12, Shapes: shapes, Embed: core.Embed, Shard: -1, Shards: 2}},
+		{"shape size mismatch", census.Config{Size: 13, Shapes: shapes, Embed: core.Embed}},
+	}
+	for _, tc := range bad {
+		if _, err := census.Run(tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted the config", tc.name)
+		}
+	}
+}
+
+// TestFailureStages drives both failure stages through a sabotaged
+// evaluator — torus guests are rejected outright (construction
+// failures) and mesh-identity pairs get a deliberately non-injective
+// table (verification failures) — and checks the stage split, the
+// recorded reasons, and that shard merging still reproduces a census
+// containing failures bit for bit.
+func TestFailureStages(t *testing.T) {
+	sabotage := func(g, h grid.Spec) (*embed.Embedding, error) {
+		if g.Kind == grid.Torus {
+			return nil, fmt.Errorf("sabotage: torus guests rejected")
+		}
+		if h.Kind == grid.Mesh && g.Shape.Equal(h.Shape) {
+			// Every guest node maps to host rank 0: caught by the
+			// injectivity scan.
+			return embed.FromTable(g, h, "sabotage", 0, make([]int, g.Size()))
+		}
+		return core.Embed(g, h)
+	}
+	cfg := richConfig(12, 0)
+	cfg.Embed = sabotage
+	c := mustRun(t, cfg)
+	if c.ConstructFailures == 0 || c.VerifyFailures == 0 {
+		t.Fatalf("sabotage produced %d construct and %d verify failures; want both nonzero",
+			c.ConstructFailures, c.VerifyFailures)
+	}
+	if c.Embeddable+c.ConstructFailures+c.VerifyFailures != c.Pairs {
+		t.Errorf("stage counts %d+%d+%d do not cover %d pairs",
+			c.Embeddable, c.ConstructFailures, c.VerifyFailures, c.Pairs)
+	}
+	tally := 0
+	for _, count := range c.ByStrategy {
+		tally += count
+	}
+	if tally != c.Embeddable {
+		t.Errorf("ByStrategy tallies %d pairs, want the %d embeddable ones", tally, c.Embeddable)
+	}
+	for i := range c.Results {
+		r := &c.Results[i]
+		switch r.FailureStage {
+		case census.StageConstruct:
+			if !strings.Contains(r.Failure, "torus guests rejected") {
+				t.Errorf("pair %d: construction failure reason %q", r.Index, r.Failure)
+			}
+		case census.StageVerify:
+			if !strings.Contains(r.Failure, "two pre-images") {
+				t.Errorf("pair %d: verification failure reason %q", r.Index, r.Failure)
+			}
+			if r.Strategy != "sabotage" {
+				t.Errorf("pair %d: verify failure strategy %q", r.Index, r.Strategy)
+			}
+		case "":
+			if r.Failure != "" {
+				t.Errorf("pair %d: failure %q with no stage", r.Index, r.Failure)
+			}
+		}
+	}
+	// Failures must survive the shard/merge cycle unchanged.
+	parts := make([]*census.Census, 2)
+	for s := range parts {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, 2
+		parts[s] = mustRun(t, scfg)
+	}
+	merged, err := census.Merge(parts...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, merged)) {
+		t.Error("merged census with failures differs from unsharded census")
+	}
+}
+
+func TestStrategyKey(t *testing.T) {
+	cases := map[string]string{
+		"expansion/H_V":          "expansion",
+		"square-chain[3]":        "square-chain",
+		"f_L":                    "f_L",
+		"prime-refinement/π ∘ f": "prime-refinement",
+		"":                       "",
+		"basic[2]/variant":       "basic",
+	}
+	for in, want := range cases {
+		if got := census.StrategyKey(in); got != want {
+			t.Errorf("StrategyKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// BenchmarkCensus360 is the acceptance-scale sweep: size 360 capped at
+// four dimensions, metrics on.
+func BenchmarkCensus360(b *testing.B) {
+	shapes := catalog.CanonicalShapesOfSize(360, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := census.Run(census.Config{
+			Size: 360, MaxDim: 4, Shapes: shapes, Metrics: true, Embed: core.Embed,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,10 +16,12 @@ package contract
 
 import (
 	"fmt"
+	"sync"
 
 	"torusmesh/internal/core"
 	"torusmesh/internal/embed"
 	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
 )
 
 // Simulation is a many-to-one map from guest nodes to host nodes.
@@ -29,7 +31,10 @@ type Simulation struct {
 	Load int
 	// Strategy names the construction.
 	Strategy string
-	mapFn    func(grid.Node) grid.Node
+	// mapFn must be a pure function safe for concurrent calls that
+	// neither mutates nor retains its argument — the same contract as
+	// embed.Embedding.Map, which Dilation's parallel walk relies on.
+	mapFn func(grid.Node) grid.Node
 }
 
 // Map returns the host image of a guest node.
@@ -37,12 +42,36 @@ func (s *Simulation) Map(n grid.Node) grid.Node { return s.mapFn(n) }
 
 // Dilation measures the maximum host distance between images of
 // adjacent guest nodes (0 when every edge collapses into single nodes).
+// It runs on the batch path: guest edge blocks (VisitEdgesBatchRange)
+// are striped across an internal/par worker pool, endpoint ranks decode
+// into reused coordinate buffers, and host distances reduce through a
+// compiled rank-native distancer.
 func (s *Simulation) Dilation() int {
+	n := s.From.Size()
+	rd := s.To.NewRankDistancer()
+	hostShape := s.To.Shape
+	var mu sync.Mutex
 	max := 0
-	s.From.VisitEdges(func(a, b grid.Node) {
-		if d := s.To.Distance(s.mapFn(a.Clone()), s.mapFn(b.Clone())); d > max {
-			max = d
+	par.Blocks(n, par.Grain(n, 2048), func(lo, hi int) {
+		a := make(grid.Node, s.From.Dim())
+		b := make(grid.Node, s.From.Dim())
+		local := 0
+		s.From.VisitEdgesBatchRange(lo, hi, grid.DefaultEdgeBlock, func(ra, rb []int) {
+			for i := range ra {
+				s.From.Shape.NodeInto(a, ra[i])
+				s.From.Shape.NodeInto(b, rb[i])
+				ia := hostShape.Index(s.mapFn(a))
+				ib := hostShape.Index(s.mapFn(b))
+				if d := rd.Distance(ia, ib); d > local {
+					local = d
+				}
+			}
+		})
+		mu.Lock()
+		if local > max {
+			max = local
 		}
+		mu.Unlock()
 	})
 	return max
 }

@@ -147,3 +147,32 @@ func TestPrimeFactors(t *testing.T) {
 		}
 	}
 }
+
+// TestDilationMatchesPerEdgeWalk pins the batch edge-block Dilation to
+// the retired per-node reference: a sequential VisitEdges walk through
+// the map closure.
+func TestDilationMatchesPerEdgeWalk(t *testing.T) {
+	cases := []struct{ guest, host grid.Spec }{
+		{grid.MeshSpec(8, 6), grid.MeshSpec(4, 3)},
+		{grid.TorusSpec(9, 4), grid.TorusSpec(3, 2)},
+		{grid.MeshSpec(16, 12), grid.MeshSpec(4, 2, 3)},
+		{grid.TorusSpec(12, 12), grid.RingSpec(36)},
+		{grid.RingSpec(24), grid.MeshSpec(4, 2, 3)},
+		{grid.MeshSpec(32, 32), grid.MeshSpec(2, 2, 2, 2, 2, 2)},
+	}
+	for _, tc := range cases {
+		sim, err := Simulate(tc.guest, tc.host)
+		if err != nil {
+			t.Fatalf("%s -> %s: %v", tc.guest, tc.host, err)
+		}
+		want := 0
+		sim.From.VisitEdges(func(a, b grid.Node) {
+			if d := sim.To.Distance(sim.mapFn(a.Clone()), sim.mapFn(b.Clone())); d > want {
+				want = d
+			}
+		})
+		if got := sim.Dilation(); got != want {
+			t.Errorf("%s -> %s: batch dilation %d, per-edge walk %d", tc.guest, tc.host, got, want)
+		}
+	}
+}

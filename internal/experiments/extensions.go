@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
 	"torusmesh/internal/contract"
 	"torusmesh/internal/core"
 	"torusmesh/internal/grid"
@@ -12,32 +14,45 @@ import (
 
 // E20Census measures how much of the same-size embedding space the
 // library covers: for each size, every ordered pair of canonical shapes
-// and kinds is attempted, and the strategies are tallied. With the
-// prime-refinement extension the coverage is total; the table also shows
-// how often each of the paper's explicit constructions carries the load.
+// and kinds is run through the sharded census engine — every
+// construction verified, its dilation measured against the paper's
+// guarantee. With the prime-refinement extension the coverage is total;
+// the table also shows how often each of the paper's explicit
+// constructions carries the load. As a standing cross-check of the
+// engine's merge contract, each census is additionally run as two
+// shards and merged, and the merged artifact must match the unsharded
+// one bit for bit.
 func E20Census(w io.Writer) error {
-	embedFn := func(g, h grid.Spec) (string, error) {
-		e, err := core.Embed(g, h)
-		if err != nil {
-			return "", err
-		}
-		if verr := e.Verify(); verr != nil {
-			return "", fmt.Errorf("%s -> %s: %v", g, h, verr)
-		}
-		if _, perr := e.CheckPredicted(); perr != nil {
-			return "", perr
-		}
-		return e.Strategy, nil
-	}
 	tw := table(w)
-	fmt.Fprintln(tw, "size\tcanonical shapes\tordered pairs\tembeddable\tcoverage")
+	fmt.Fprintln(tw, "size\tcanonical shapes\tordered pairs\tembeddable\tcoverage\tworst dilation")
 	sizes := []int{16, 24, 36, 60, 64}
-	censuses := make([]catalog.Census, 0, len(sizes))
+	censuses := make([]*census.Census, 0, len(sizes))
 	for _, n := range sizes {
-		c := catalog.Coverage(n, 0, embedFn)
+		cfg := census.Config{
+			Size:    n,
+			Shapes:  catalog.CanonicalShapesOfSize(n, 0),
+			Metrics: true,
+			Embed:   core.Embed,
+		}
+		c, err := census.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if c.VerifyFailures > 0 {
+			return fmt.Errorf("size %d: %d constructions failed verification", n, c.VerifyFailures)
+		}
+		if err := checkShardMerge(cfg, c); err != nil {
+			return err
+		}
 		censuses = append(censuses, c)
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f%%\n", c.Size, c.Shapes, c.Pairs, c.Embeddable,
-			100*float64(c.Embeddable)/float64(c.Pairs))
+		worst := 0
+		for i := range c.Results {
+			if c.Results[i].Dilation > worst {
+				worst = c.Results[i].Dilation
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f%%\t%d\n", c.Size, len(c.Shapes), c.Pairs, c.Embeddable,
+			100*float64(c.Embeddable)/float64(c.Pairs), worst)
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "\nstrategy share (all sizes pooled):")
@@ -55,6 +70,38 @@ func E20Census(w io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", k, pooled[k], 100*float64(pooled[k])/float64(total))
 	}
 	tw.Flush()
+	fmt.Fprintln(w, "\nshard/merge cross-check: every census re-run as two shards merged bit-for-bit equal")
+	return nil
+}
+
+// checkShardMerge re-runs the census as two shards and demands that the
+// merged artifact reproduces the unsharded one exactly.
+func checkShardMerge(cfg census.Config, full *census.Census) error {
+	parts := make([]*census.Census, 2)
+	for s := range parts {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, len(parts)
+		c, err := census.Run(scfg)
+		if err != nil {
+			return err
+		}
+		parts[s] = c
+	}
+	merged, err := census.Merge(parts...)
+	if err != nil {
+		return err
+	}
+	want, err := full.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	got, err := merged.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("size %d: merged shard censuses differ from the unsharded census", cfg.Size)
+	}
 	return nil
 }
 

@@ -1,5 +1,7 @@
 package grid
 
+import "sync"
+
 // This file is the index-native substrate of the batch embedding
 // engine: row-major strides, a rank-level distance function, and a
 // blocked edge iterator that enumerates the same edges as VisitEdges
@@ -10,6 +12,17 @@ package grid
 // VisitEdgesBatch callbacks. Large enough to amortize the callback and
 // keep kernels in their tight loops, small enough to stay cache-warm.
 const DefaultEdgeBlock = 8192
+
+// edgeBufs is a pooled pair of default-block-size endpoint buffers for
+// VisitEdgesBatchRange.
+type edgeBufs struct{ a, b []int }
+
+var edgeBufPool = sync.Pool{New: func() any {
+	return &edgeBufs{
+		a: make([]int, DefaultEdgeBlock),
+		b: make([]int, DefaultEdgeBlock),
+	}
+}}
 
 // Strides returns the row-major weights of the shape: Strides()[j] is
 // the rank delta of incrementing coordinate j, so
@@ -45,13 +58,15 @@ func (sp Spec) DistanceRank(a, b int) int {
 // construction hoists the shape, kind, and — when every dimension
 // length is a power of two (hypercubes and the Theorem 33 family) — the
 // shift/mask digit decode out of the per-edge loop, replacing the
-// serial division chain with independent shifts.
+// serial division chain with independent shifts. Materialize trades
+// O(dim·Size) memory for division-free decode on arbitrary radices.
 type RankDistancer struct {
 	shape Shape
 	torus bool
 	pow2  bool
-	shift []uint // shift[j]: trailing zero count of stride j
-	mask  []int  // mask[j]: shape[j]-1
+	shift []uint    // shift[j]: trailing zero count of stride j
+	mask  []int     // mask[j]: shape[j]-1
+	dig   [][]int32 // dig[j][r]: digit j of rank r, when materialized
 }
 
 // NewRankDistancer compiles the distance reduction for the spec.
@@ -81,9 +96,63 @@ func (sp Spec) NewRankDistancer() *RankDistancer {
 	return rd
 }
 
+// Materialize precomputes the digit decode of every rank of the shape
+// into per-dimension tables, so that non-power-of-two distances become
+// table lookups instead of division chains. Worth it when the distancer
+// will be driven over many more rank pairs than the shape has nodes —
+// the census engine's regime. Power-of-two shapes already decode with
+// shifts and are left untouched. Returns the receiver for chaining;
+// afterwards both ranks of every query must lie in [0, Size()).
+func (rd *RankDistancer) Materialize() *RankDistancer {
+	if rd.pow2 || rd.dig != nil {
+		return rd
+	}
+	d := len(rd.shape)
+	n := rd.shape.Size()
+	rd.dig = make([][]int32, d)
+	for j := range rd.dig {
+		rd.dig[j] = make([]int32, n)
+	}
+	coord := make(Node, d)
+	for r := 0; r < n; r++ {
+		for j := 0; j < d; j++ {
+			rd.dig[j][r] = int32(coord[j])
+		}
+		for j := d - 1; j >= 0; j-- {
+			coord[j]++
+			if coord[j] < rd.shape[j] {
+				break
+			}
+			coord[j] = 0
+		}
+	}
+	return rd
+}
+
+// Distance returns the graph distance between the nodes with ranks a
+// and b — the exported form of the compiled reduction, for consumers
+// that gather their own rank pairs (e.g. many-to-one simulations).
+func (rd *RankDistancer) Distance(a, b int) int { return rd.one(a, b) }
+
 // one returns the distance between ranks a and b.
 func (rd *RankDistancer) one(a, b int) int {
 	dist := 0
+	if rd.dig != nil {
+		for j := len(rd.dig) - 1; j >= 0; j-- {
+			dj := rd.dig[j]
+			diff := int(dj[a]) - int(dj[b])
+			if diff < 0 {
+				diff = -diff
+			}
+			if rd.torus {
+				if w := rd.shape[j] - diff; w < diff {
+					diff = w
+				}
+			}
+			dist += diff
+		}
+		return dist
+	}
 	if rd.pow2 {
 		for j := len(rd.shape) - 1; j >= 0; j-- {
 			mask := rd.mask[j]
@@ -141,6 +210,20 @@ func (rd *RankDistancer) Sum(ha, hb []int) int64 {
 	return sum
 }
 
+// MaxSum fuses Max and Sum into a single pass over a block of rank
+// pairs, so consumers that want both dilation and average dilation (the
+// census engine) decode each pair once instead of twice.
+func (rd *RankDistancer) MaxSum(ha, hb []int) (max int, sum int64) {
+	for i := range ha {
+		d := rd.one(ha[i], hb[i])
+		if d > max {
+			max = d
+		}
+		sum += int64(d)
+	}
+	return max, sum
+}
+
 // EdgeCountRange returns the number of edges VisitEdgesBatchRange
 // enumerates for source ranks in [lo, hi).
 func (sp Spec) EdgeCountRange(lo, hi int) int {
@@ -185,8 +268,18 @@ func (sp Spec) VisitEdgesBatchRange(lo, hi, blockSize int, fn func(a, b []int)) 
 	// Odometer decode of lo once, then O(1) amortized increments.
 	coord := make(Node, d)
 	sp.Shape.NodeInto(coord, lo)
-	bufA := make([]int, 0, blockSize)
-	bufB := make([]int, 0, blockSize)
+	// Default-sized endpoint buffers come from a pool: callers like the
+	// census engine enumerate the edges of thousands of graphs back to
+	// back, and a fresh 2x64KiB allocation per graph is pure GC churn.
+	var bufA, bufB []int
+	if blockSize <= DefaultEdgeBlock {
+		bufs := edgeBufPool.Get().(*edgeBufs)
+		defer edgeBufPool.Put(bufs)
+		bufA, bufB = bufs.a[:0], bufs.b[:0]
+	} else {
+		bufA = make([]int, 0, blockSize)
+		bufB = make([]int, 0, blockSize)
+	}
 	for x := lo; x < hi; x++ {
 		for j := 0; j < d; j++ {
 			l := sp.Shape[j]

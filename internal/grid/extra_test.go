@@ -104,3 +104,61 @@ func TestInBoundsEdges(t *testing.T) {
 		t.Error("negative coordinate in bounds")
 	}
 }
+
+// TestRankDistancerMaterializeParity: the division-free materialized
+// decode must agree with the on-the-fly decode (and with the coordinate
+// Distance) on every rank pair of assorted specs.
+func TestRankDistancerMaterializeParity(t *testing.T) {
+	specs := []Spec{
+		MeshSpec(4, 3, 2),
+		TorusSpec(5, 4),
+		TorusSpec(2, 3, 2),
+		MeshSpec(24),
+		RingSpec(7),
+	}
+	for _, sp := range specs {
+		plain := sp.NewRankDistancer()
+		mat := sp.NewRankDistancer().Materialize()
+		n := sp.Size()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := sp.Distance(sp.Shape.NodeAt(a), sp.Shape.NodeAt(b))
+				if got := plain.Distance(a, b); got != want {
+					t.Fatalf("%s: plain Distance(%d,%d) = %d, want %d", sp, a, b, got, want)
+				}
+				if got := mat.Distance(a, b); got != want {
+					t.Fatalf("%s: materialized Distance(%d,%d) = %d, want %d", sp, a, b, got, want)
+				}
+			}
+		}
+	}
+	// Power-of-two shapes keep the shift/mask path; Materialize is a
+	// no-op that must not disturb it.
+	sp := TorusSpec(4, 8)
+	rd := sp.NewRankDistancer().Materialize()
+	for a := 0; a < sp.Size(); a += 3 {
+		for b := 0; b < sp.Size(); b += 5 {
+			if got, want := rd.Distance(a, b), sp.Distance(sp.Shape.NodeAt(a), sp.Shape.NodeAt(b)); got != want {
+				t.Fatalf("%s: pow2 Distance(%d,%d) = %d, want %d", sp, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestRankDistancerMaxSum: the fused reduction agrees with Max and Sum.
+func TestRankDistancerMaxSum(t *testing.T) {
+	sp := TorusSpec(5, 3, 2)
+	rd := sp.NewRankDistancer().Materialize()
+	var ha, hb []int
+	for a := 0; a < sp.Size(); a++ {
+		ha = append(ha, a)
+		hb = append(hb, (a*7+3)%sp.Size())
+	}
+	max, sum := rd.MaxSum(ha, hb)
+	if wantMax := rd.Max(ha, hb); max != wantMax {
+		t.Errorf("MaxSum max = %d, Max = %d", max, wantMax)
+	}
+	if wantSum := rd.Sum(ha, hb); sum != wantSum {
+		t.Errorf("MaxSum sum = %d, Sum = %d", sum, wantSum)
+	}
+}
