@@ -11,8 +11,15 @@
 //
 //	sweep -n 24
 //	sweep -n 360 -maxdim 4 -congestion
+//	sweep -n 60 -congestion -place -place-budget 32
 //	sweep -n 360 -shard 2/8 -json s2.json
 //	sweep -merge -json full.json s0.json s1.json ... s7.json
+//
+// Exit codes: 0 = success; 1 = verification failures (a construction
+// broke injectivity or its dilation guarantee — a library bug); 2 =
+// usage, configuration or artifact-validation errors (bad flags,
+// unreadable or incompatible shard artifacts, missing or duplicated
+// shards in a -merge).
 package main
 
 import (
@@ -30,6 +37,15 @@ import (
 	"torusmesh/internal/core"
 	"torusmesh/internal/embed"
 	"torusmesh/internal/par"
+	"torusmesh/internal/place"
+)
+
+// Exit codes, kept distinct so sweep drivers can tell "the library is
+// broken" (retrying will not help) from "this invocation or these
+// artifacts are invalid" (fix the inputs and retry).
+const (
+	exitVerifyFailures = 1
+	exitUsage          = 2
 )
 
 func main() {
@@ -38,6 +54,9 @@ func main() {
 	shard := flag.String("shard", "0/1", "evaluate only shard i/m of the pair space (0 <= i < m)")
 	metrics := flag.Bool("metrics", true, "measure dilation and average dilation per pair")
 	congestion := flag.Bool("congestion", false, "measure netsim peak-link congestion per pair")
+	doPlace := flag.Bool("place", false, "run the congestion-aware placement search per embeddable pair (implies -congestion)")
+	placeBudget := flag.Int("place-budget", 32, "candidate budget of each per-pair placement search")
+	placeObjective := flag.String("place-objective", "1,1,0", "placement objective weights α,β,γ")
 	jsonOut := flag.String("json", "", "write the census artifact to this file")
 	merge := flag.Bool("merge", false, "merge the shard artifacts named as arguments instead of sweeping")
 	showShapes := flag.Bool("shapes", false, "list the canonical shapes first")
@@ -65,7 +84,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	c, err := census.Run(census.Config{
+	cfg := census.Config{
 		Size:       *n,
 		MaxDim:     *maxDim,
 		Shapes:     shapes,
@@ -74,7 +93,22 @@ func main() {
 		Metrics:    *metrics,
 		Congestion: *congestion,
 		Embed:      core.Embed,
-	})
+	}
+	if *doPlace {
+		obj, err := place.ParseObjective(*placeObjective)
+		if err != nil {
+			fatalf("sweep: %v", err)
+		}
+		cfg.Congestion = true // the search is compared against the congestion baseline
+		cfg.Place, cfg.PlaceSpec = place.CensusFunc(place.Config{
+			Objective:   obj,
+			Budget:      *placeBudget,
+			CapDilation: true,
+			Rotations:   true,
+			Strategies:  place.DefaultStrategies(),
+		})
+	}
+	c, err := census.Run(cfg)
 	if err != nil {
 		fatalf("sweep: %v", err)
 	}
@@ -148,14 +182,20 @@ func report(w io.Writer, c *census.Census) {
 	if c.Congestion {
 		header += "\tpeak congestion"
 	}
+	if c.Placed {
+		header += "\tplace wins"
+	}
 	fmt.Fprintln(tw, header)
 	var hist map[string]map[int]int
-	var peak map[string]int
+	var peak, wins map[string]int
 	if c.Metrics {
 		hist = c.DilationHistogram()
 	}
 	if c.Congestion {
 		peak = c.PeakCongestion()
+	}
+	if c.Placed {
+		wins = c.PlaceImprovements()
 	}
 	keys := make([]string, 0, len(c.ByStrategy))
 	for k := range c.ByStrategy {
@@ -169,6 +209,9 @@ func report(w io.Writer, c *census.Census) {
 		}
 		if c.Congestion {
 			fmt.Fprintf(tw, "\t%d", peak[k])
+		}
+		if c.Placed {
+			fmt.Fprintf(tw, "\t%d", wins[k])
 		}
 		fmt.Fprintln(tw)
 	}
@@ -207,7 +250,7 @@ func save(c *census.Census, path string) {
 // cover.
 func exitCode(c *census.Census) {
 	if c.VerifyFailures > 0 {
-		os.Exit(1)
+		os.Exit(exitVerifyFailures)
 	}
 }
 
@@ -232,5 +275,5 @@ func parseShard(s string) (idx, count int, err error) {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(2)
+	os.Exit(exitUsage)
 }

@@ -72,15 +72,37 @@
 // Censuses serialize to versioned JSON artifacts whose encoding is
 // deterministic (fixed field order, sorted map keys, wall times
 // excluded): {version, size, maxdim, shard, shards, metrics,
-// congestion, shapes, space_pairs, pairs, embeddable,
+// congestion, placed, place_spec, shapes, space_pairs, pairs, embeddable,
 // construct_failures, verify_failures, by_strategy, results[]}, where
 // each results entry carries {index, guest, host, strategy, predicted,
-// dilation, avg_dilation, congestion, failure, failure_stage}.
+// dilation, avg_dilation, congestion, place, failure, failure_stage}.
 // census.Merge validates size/maxdim/version/flag compatibility,
 // demands each shard exactly once, and reproduces the unsharded census
-// bit for bit — the invariant CI re-checks on every push.
+// bit for bit — the invariant CI re-checks on every push. The schema
+// is pinned by a golden-file test; changing the serialized form
+// requires bumping census.ArtifactVersion.
+//
+// # The placement engine
+//
+// The paper's constructions minimize dilation; the placement engine
+// (internal/place, CLI: cmd/place) additionally minimizes congestion —
+// the second classic embedding cost, decided by symmetries the
+// constructions leave free. Place searches candidate embeddings (base
+// strategies composed with guest/host axis permutations and mesh digit
+// rotations) for the one minimizing a configurable objective
+//
+//	score = α·dilation + β·peakLinkLoad + γ·meanUsedLinkLoad
+//
+// with congestion computed by the netsim routing engine, candidates
+// scored concurrently on the shared worker pool, and dilation-based
+// pruning that skips congestion scoring of candidates that already
+// lost. The winner is deterministic and reported next to the paper
+// baseline; by default it is constrained to dilate no worse
+// (PlacementOptions.CapDilation). Sweeps can record best-found
+// placements per pair with `sweep -place`.
 //
 // All public entry points are thin veneers over the internal packages;
-// see DESIGN.md for the module map and EXPERIMENTS.md for the
+// see ARCHITECTURE.md for the engine and module map, README.md for CLI
+// usage, and internal/experiments (cmd/experiments) for the
 // reproduction of every figure and claim in the paper.
 package torusmesh

@@ -71,3 +71,19 @@ func ExampleSimulateManyToOne() {
 	// load: 4
 	// dilation: 1
 }
+
+// The placement search trades the paper's dilation-optimal construction
+// for one with lower link congestion on the simulated machine.
+func ExamplePlace() {
+	res, err := torusmesh.Place(torusmesh.Torus(8, 2), torusmesh.Mesh(4, 4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("baseline: dilation", res.Baseline.Dilation, "peak congestion", res.Baseline.Peak)
+	fmt.Println("best:     dilation", res.Best.Dilation, "peak congestion", res.Best.Peak)
+	fmt.Println("variant: ", res.Best.Desc())
+	// Output:
+	// baseline: dilation 4 peak congestion 4
+	// best:     dilation 3 peak congestion 2
+	// variant:  paper gperm=[1 0]
+}

@@ -11,6 +11,7 @@ import (
 
 	"torusmesh/internal/census"
 	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
 )
 
 // ShapesOfSize returns every shape (ordered composition of factors >= 2)
@@ -84,6 +85,29 @@ func CanonicalShapesOfSize(n, maxDim int) []grid.Shape {
 		}
 		return false
 	})
+	return out
+}
+
+// AxisOrderings returns one permutation per distinct ordering of the
+// shape's dimension lengths, in lexicographic order of the permutations,
+// with the identity first. Two permutations that produce the same
+// permuted shape differ only by swapping equal-length axes — on the
+// guest side of an embedding that is a graph automorphism, which leaves
+// every placement metric unchanged, so the placement search enumerates
+// only one representative. (On the host side the full permutation group
+// matters: swapping equal-length host axes reorders dimension-ordered
+// routing and changes congestion; use perm.All there.)
+func AxisOrderings(s grid.Shape) []perm.Perm {
+	seen := map[string]bool{}
+	var out []perm.Perm
+	for _, p := range perm.All(s.Dim()) {
+		key := grid.Shape(perm.Apply(p, s)).String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
 	return out
 }
 

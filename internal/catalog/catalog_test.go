@@ -5,6 +5,7 @@ import (
 
 	"torusmesh/internal/core"
 	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
 )
 
 func TestShapesOfSize(t *testing.T) {
@@ -79,5 +80,32 @@ func TestCoverage(t *testing.T) {
 	}
 	if total != census.Embeddable {
 		t.Errorf("strategy counts sum to %d, want %d", total, census.Embeddable)
+	}
+}
+
+func TestAxisOrderings(t *testing.T) {
+	// 4x2x4 has three distinct orderings: (4,2,4), (4,4,2), (2,4,4).
+	got := AxisOrderings(grid.Shape{4, 2, 4})
+	if len(got) != 3 {
+		t.Fatalf("AxisOrderings(4x2x4) has %d entries, want 3", len(got))
+	}
+	id := perm.Identity(3)
+	for i := range id {
+		if got[0][i] != id[i] {
+			t.Fatalf("AxisOrderings(4x2x4)[0] = %v, want identity", got[0])
+		}
+	}
+	shapes := map[string]bool{}
+	for _, p := range got {
+		shapes[grid.Shape(perm.Apply(p, grid.Shape{4, 2, 4})).String()] = true
+	}
+	for _, want := range []string{"4x2x4", "4x4x2", "2x4x4"} {
+		if !shapes[want] {
+			t.Errorf("ordering %s missing from %v", want, shapes)
+		}
+	}
+	// All-equal shapes collapse to the identity alone.
+	if got := AxisOrderings(grid.Shape{2, 2, 2, 2}); len(got) != 1 {
+		t.Errorf("AxisOrderings(hypercube) has %d entries, want 1", len(got))
 	}
 }

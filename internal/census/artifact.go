@@ -13,11 +13,32 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
+// intList renders shard indices as "2, 5, 7" for merge diagnostics.
+func intList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // ArtifactVersion is the schema version stamped into every artifact.
-// Decode rejects artifacts from other versions.
-const ArtifactVersion = 1
+// Decode rejects artifacts from other versions. The serialized form is
+// pinned by the golden-file test (testdata/census-v2.golden.json): any
+// change to it must bump this constant and regenerate the golden with
+// `go test ./internal/census -run Golden -update`.
+//
+// Version history:
+//
+//	1: initial schema (metrics, congestion, shard merging).
+//	2: placement search columns — top-level "placed" flag and
+//	   "place_spec" settings string, per-pair "place" summary {desc,
+//	   strategy, dilation, peak, avg_link, score, error}.
+const ArtifactVersion = 2
 
 // Encode writes the census as deterministic, human-readable JSON.
 func Encode(w io.Writer, c *Census) error {
@@ -98,6 +119,10 @@ func compatible(a, b *Census) error {
 		return fmt.Errorf("one census has metrics, the other does not")
 	case a.Congestion != b.Congestion:
 		return fmt.Errorf("one census has congestion, the other does not")
+	case a.Placed != b.Placed:
+		return fmt.Errorf("one census has placement results, the other does not")
+	case a.PlaceSpec != b.PlaceSpec:
+		return fmt.Errorf("placement search settings differ (%q vs %q)", a.PlaceSpec, b.PlaceSpec)
 	case len(a.Shapes) != len(b.Shapes):
 		return fmt.Errorf("shape lists differ")
 	}
@@ -125,21 +150,35 @@ func Merge(parts ...*Census) (*Census, error) {
 	}
 	base := parts[0]
 	seen := make(map[int]bool, base.Shards)
+	var duplicated []int
 	total := 0
 	for _, p := range parts {
 		if err := compatible(base, p); err != nil {
 			return nil, fmt.Errorf("census: cannot merge: %v", err)
 		}
 		if seen[p.Shard] {
-			return nil, fmt.Errorf("census: cannot merge: shard %d/%d appears twice", p.Shard, p.Shards)
+			duplicated = append(duplicated, p.Shard)
 		}
 		seen[p.Shard] = true
 		total += len(p.Results)
 	}
+	// Name the offending shard indices, not just their count: an
+	// operator re-driving a large sharded sweep needs to know which
+	// shard files to re-run or drop.
+	if len(duplicated) > 0 {
+		sort.Ints(duplicated)
+		return nil, fmt.Errorf("census: cannot merge: shard(s) %s of %d appear more than once",
+			intList(duplicated), base.Shards)
+	}
+	var missing []int
 	for s := 0; s < base.Shards; s++ {
 		if !seen[s] {
-			return nil, fmt.Errorf("census: cannot merge: shard %d/%d is missing", s, base.Shards)
+			missing = append(missing, s)
 		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("census: cannot merge: shard(s) %s of %d are missing",
+			intList(missing), base.Shards)
 	}
 	results := make([]PairResult, 0, total)
 	for _, p := range parts {
@@ -165,6 +204,8 @@ func Merge(parts ...*Census) (*Census, error) {
 		Shards:     1,
 		Metrics:    base.Metrics,
 		Congestion: base.Congestion,
+		Placed:     base.Placed,
+		PlaceSpec:  base.PlaceSpec,
 		Shapes:     append([]string(nil), base.Shapes...),
 		SpacePairs: base.SpacePairs,
 		Results:    results,

@@ -13,6 +13,16 @@
 // processes: each process runs one shard, serializes its census to a
 // versioned JSON artifact, and Merge recombines the artifacts into the
 // same census a single unsharded run would have produced, bit for bit.
+// The serialized schema is pinned by a golden-file test (testdata/);
+// changing it requires bumping ArtifactVersion.
+//
+// A census can additionally carry a placement column: Config.Place
+// accepts an opaque PlaceFunc (the package stays independent of the
+// placement engine, the way Config.Embed keeps it independent of the
+// construction dispatcher), and each embeddable pair then records the
+// best congestion-aware placement found next to its paper-baseline
+// dilation and congestion. cmd/sweep wires this to internal/place via
+// place.CensusFunc.
 package census
 
 import (
@@ -30,6 +40,32 @@ import (
 // EmbedFunc builds the embedding for one pair — typically core.Embed.
 // It must be safe for concurrent calls.
 type EmbedFunc func(g, h grid.Spec) (*embed.Embedding, error)
+
+// PlaceFunc runs a congestion-aware placement search for one pair and
+// returns the best candidate's summary — typically an adapter around
+// place.Search (the census engine stays independent of the placement
+// engine; cmd/sweep and the top-level API wire the two together). It
+// must be safe for concurrent calls and deterministic for a given pair,
+// or merged artifacts stop reproducing unsharded runs bit for bit.
+type PlaceFunc func(g, h grid.Spec) (*PlaceSummary, error)
+
+// PlaceSummary records the best placement found for a pair, next to the
+// paper-baseline dilation and congestion columns of its PairResult.
+type PlaceSummary struct {
+	// Desc names the winning candidate's strategy and symmetry variant,
+	// e.g. "paper gperm=[1 0]".
+	Desc string `json:"desc,omitempty"`
+	// Strategy is the construction chain of the winning embedding.
+	Strategy string `json:"strategy,omitempty"`
+	// Dilation, Peak, AvgLink and Score are the winner's measured costs
+	// under the search objective.
+	Dilation int     `json:"dilation,omitempty"`
+	Peak     int     `json:"peak,omitempty"`
+	AvgLink  float64 `json:"avg_link,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+	// Error records a failed search (the other fields are then zero).
+	Error string `json:"error,omitempty"`
+}
 
 // StrategyFunc is the legacy strategy-only evaluator of the catalog
 // coverage path: it returns the name of the construction that carried
@@ -60,6 +96,17 @@ type Config struct {
 	// edges through the host under dimension-ordered routing and
 	// records the peak directed-link load.
 	Congestion bool
+	// Place, when set, additionally runs a placement search for every
+	// embeddable pair and records the best-found candidate next to the
+	// baseline columns. Requires Congestion (the baseline peak is the
+	// number the search is compared against) and a PlaceSpec.
+	Place PlaceFunc
+	// PlaceSpec canonically describes the placement search's settings
+	// (typically place.Config.Spec(), returned by place.CensusFunc).
+	// It is recorded in the artifact and compared by Merge, so shards
+	// searched under different settings — which would silently break
+	// the bit-for-bit merge invariant — are rejected.
+	PlaceSpec string
 	// Embed is the rich evaluator; exactly one of Embed and Strategy
 	// must be set. Rich-mode pairs are always verified for injectivity.
 	Embed EmbedFunc
@@ -98,6 +145,9 @@ type PairResult struct {
 	// Congestion is the peak directed-link load under dimension-ordered
 	// routing (congestion censuses only).
 	Congestion int `json:"congestion,omitempty"`
+	// Place is the best placement the search found for the pair
+	// (placement censuses only; nil for failed pairs).
+	Place *PlaceSummary `json:"place,omitempty"`
 	// Failure is the failure reason, with FailureStage saying whether
 	// construction or verification failed.
 	Failure      string `json:"failure,omitempty"`
@@ -119,6 +169,8 @@ type Census struct {
 	Shards     int      `json:"shards"`
 	Metrics    bool     `json:"metrics"`
 	Congestion bool     `json:"congestion"`
+	Placed     bool     `json:"placed"`
+	PlaceSpec  string   `json:"place_spec,omitempty"`
 	Shapes     []string `json:"shapes"`
 	// SpacePairs is the size of the full pair space; Pairs is the
 	// number evaluated in this artifact's shard.
@@ -176,6 +228,12 @@ func (cfg *Config) validate() error {
 	if cfg.Strategy != nil && (cfg.Metrics || cfg.Congestion) {
 		return fmt.Errorf("census: metrics and congestion require the rich Embed evaluator")
 	}
+	if cfg.Place != nil && !cfg.Congestion {
+		return fmt.Errorf("census: placement search requires the congestion baseline")
+	}
+	if (cfg.Place != nil) != (cfg.PlaceSpec != "") {
+		return fmt.Errorf("census: Place and PlaceSpec must be set together")
+	}
 	for _, s := range cfg.Shapes {
 		if s.Size() != cfg.Size {
 			return fmt.Errorf("census: shape %s has %d nodes, want %d", s, s.Size(), cfg.Size)
@@ -214,6 +272,8 @@ func Run(cfg Config) (*Census, error) {
 		Shards:     cfg.Shards,
 		Metrics:    cfg.Metrics,
 		Congestion: cfg.Congestion,
+		Placed:     cfg.Place != nil,
+		PlaceSpec:  cfg.PlaceSpec,
 		Shapes:     shapeStrings(cfg.Shapes),
 		SpacePairs: space,
 		Results:    results,
@@ -283,6 +343,20 @@ func (c *Census) PeakCongestion() map[string]int {
 	c.forStrategy(func(key string, r *PairResult) {
 		if r.Congestion > out[key] {
 			out[key] = r.Congestion
+		}
+	})
+	return out
+}
+
+// PlaceImprovements returns, per strategy key, how many embeddable
+// pairs the placement search strictly improved: a best-found peak link
+// load below the baseline construction's. Meaningful for placement
+// censuses only.
+func (c *Census) PlaceImprovements() map[string]int {
+	out := map[string]int{}
+	c.forStrategy(func(key string, r *PairResult) {
+		if r.Place != nil && r.Place.Error == "" && r.Place.Peak < r.Congestion {
+			out[key]++
 		}
 	})
 	return out
@@ -408,24 +482,16 @@ func (ev *evaluator) measure(pr *PairResult, e *embed.Embedding, g, h grid.Spec)
 	n := g.Size()
 	sc := ev.scratch.Get().(*pairScratch)
 	defer ev.scratch.Put(sc)
-	seen := sc.seen
-	clear(seen)
-	for i, v := range table {
-		if v < 0 || v >= n {
+	if bad := table.CheckInjection(n, sc.seen); bad != nil {
+		if bad.OutOfBounds {
 			pr.Failure = fmt.Sprintf("%s: image of node %s (host rank %d) out of bounds for host %s",
-				e.Strategy, g.Shape.NodeAt(i), v, h)
-			pr.FailureStage = StageVerify
-			return
-		}
-		w := &seen[v>>5]
-		bit := uint32(1) << (v & 31)
-		if *w&bit != 0 {
+				e.Strategy, g.Shape.NodeAt(bad.GuestRank), bad.HostRank, h)
+		} else {
 			pr.Failure = fmt.Sprintf("%s: host node %s has two pre-images (one is %s)",
-				e.Strategy, h.Shape.NodeAt(v), g.Shape.NodeAt(i))
-			pr.FailureStage = StageVerify
-			return
+				e.Strategy, h.Shape.NodeAt(bad.HostRank), g.Shape.NodeAt(bad.GuestRank))
 		}
-		*w |= bit
+		pr.FailureStage = StageVerify
+		return
 	}
 	if ev.cfg.Metrics {
 		rd := ev.distancers[h.String()]
@@ -435,25 +501,8 @@ func (ev *evaluator) measure(pr *PairResult, e *embed.Embedding, g, h grid.Spec)
 			// a precomputed distancer; a one-off compile is still cheap.
 			rd = h.NewRankDistancer()
 		}
-		max, sum, edges := 0, int64(0), int64(0)
-		g.VisitEdgesBatchRange(0, n, grid.DefaultEdgeBlock, func(a, b []int) {
-			ha, hb := sc.ha[:len(a)], sc.hb[:len(b)]
-			for i := range a {
-				ha[i] = table[a[i]]
-				hb[i] = table[b[i]]
-			}
-			m, s := rd.MaxSum(ha, hb)
-			if m > max {
-				max = m
-			}
-			sum += s
-			edges += int64(len(a))
-		})
-		pr.Dilation = max
-		if edges > 0 {
-			pr.AvgDilation = float64(sum) / float64(edges)
-		}
-		if !checkPredicted(pr, e, max, g, h) {
+		pr.Dilation, pr.AvgDilation = g.EdgeDilation(table, rd, sc.ha, sc.hb)
+		if !checkPredicted(pr, e, pr.Dilation, g, h) {
 			return
 		}
 	}
@@ -507,4 +556,21 @@ func (ev *evaluator) congest(pr *PairResult, g, h grid.Spec, p netsim.Placement)
 		return
 	}
 	pr.Congestion = stats.MaxLink
+	ev.place(pr, g, h)
+}
+
+// place runs the configured placement search for the pair and records
+// the winner next to the baseline columns. A failed search is recorded
+// in the summary's Error field rather than failing the pair: the
+// baseline embedding is fine, the optimizer just found nothing.
+func (ev *evaluator) place(pr *PairResult, g, h grid.Spec) {
+	if ev.cfg.Place == nil {
+		return
+	}
+	ps, err := ev.cfg.Place(g, h)
+	if err != nil {
+		pr.Place = &PlaceSummary{Error: err.Error()}
+		return
+	}
+	pr.Place = ps
 }

@@ -131,7 +131,7 @@ func TestDecodeRejectsBadArtifacts(t *testing.T) {
 	bad := []struct{ name, doc string }{
 		{"wrong version", `{"version": 999, "shards": 1}`},
 		{"zero version", `{"shards": 1}`},
-		{"invalid shard", `{"version": 1, "shard": 5, "shards": 2}`},
+		{"invalid shard", fmt.Sprintf(`{"version": %d, "shard": 5, "shards": 2}`, census.ArtifactVersion)},
 		{"not json", `not json at all`},
 	}
 	for _, tc := range bad {
@@ -165,10 +165,12 @@ func TestMergeRejectsIncompatible(t *testing.T) {
 	}{
 		{"size", func(c *census.Census) { c.Size = 25 }},
 		{"maxdim", func(c *census.Census) { c.MaxDim = 3 }},
-		{"version", func(c *census.Census) { c.Version = 2 }},
+		{"version", func(c *census.Census) { c.Version = census.ArtifactVersion + 1 }},
 		{"shard count", func(c *census.Census) { c.Shards = 4 }},
 		{"metrics flag", func(c *census.Census) { c.Metrics = false }},
 		{"congestion flag", func(c *census.Census) { c.Congestion = true }},
+		{"placed flag", func(c *census.Census) { c.Placed = true }},
+		{"place settings", func(c *census.Census) { c.PlaceSpec = "other-settings" }},
 		{"shape list", func(c *census.Census) { c.Shapes[0] = "9x9" }},
 		{"pair space", func(c *census.Census) { c.SpacePairs++ }},
 	}
@@ -408,5 +410,116 @@ func BenchmarkCensus360(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestMergeNamesOffendingShards: merge diagnostics must name which
+// shard indices are missing or duplicated, not just how many.
+func TestMergeNamesOffendingShards(t *testing.T) {
+	cfg := richConfig(24, 0)
+	cfg.Shards = 4
+	parts := make([]*census.Census, 4)
+	for s := 0; s < 4; s++ {
+		scfg := cfg
+		scfg.Shard = s
+		parts[s] = mustRun(t, scfg)
+	}
+	_, err := census.Merge(parts[0], parts[3])
+	if err == nil {
+		t.Fatal("merge with missing shards succeeded")
+	}
+	if !strings.Contains(err.Error(), "1, 2") {
+		t.Errorf("missing-shard error does not name shards 1 and 2: %v", err)
+	}
+	_, err = census.Merge(parts[0], parts[1], parts[2], parts[3], parts[1], parts[2])
+	if err == nil {
+		t.Fatal("merge with duplicated shards succeeded")
+	}
+	if !strings.Contains(err.Error(), "1, 2") {
+		t.Errorf("duplicate-shard error does not name shards 1 and 2: %v", err)
+	}
+}
+
+// TestPlaceColumn: a placement census records the search winner next to
+// the baseline columns, and search failures land in the summary's Error
+// field without failing the pair.
+func TestPlaceColumn(t *testing.T) {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	cfg.PlaceSpec = "stub-settings"
+	cfg.Place = func(g, h grid.Spec) (*census.PlaceSummary, error) {
+		if g.Kind == grid.Torus {
+			return nil, fmt.Errorf("synthetic failure for %s", g)
+		}
+		return &census.PlaceSummary{Desc: "stub", Dilation: 1, Peak: 1, Score: 2}, nil
+	}
+	c := mustRun(t, cfg)
+	if !c.Placed {
+		t.Fatal("census did not record the placed flag")
+	}
+	summaries, errors := 0, 0
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.FailureStage != "" {
+			if r.Place != nil {
+				t.Errorf("failed pair %s -> %s has a placement", r.Guest, r.Host)
+			}
+			continue
+		}
+		if r.Place == nil {
+			t.Errorf("embeddable pair %s -> %s has no placement", r.Guest, r.Host)
+			continue
+		}
+		if r.Place.Error != "" {
+			errors++
+		} else {
+			summaries++
+		}
+	}
+	if summaries == 0 || errors == 0 {
+		t.Errorf("want both summaries and recorded errors, got %d/%d", summaries, errors)
+	}
+
+	// Placement requires the congestion baseline, and the search
+	// settings must be recorded so Merge can compare them.
+	bad := richConfig(16, 0)
+	bad.Place, bad.PlaceSpec = cfg.Place, cfg.PlaceSpec
+	if _, err := census.Run(bad); err == nil {
+		t.Error("placement census without congestion accepted")
+	}
+	noSpec := richConfig(16, 0)
+	noSpec.Congestion = true
+	noSpec.Place = cfg.Place
+	if _, err := census.Run(noSpec); err == nil {
+		t.Error("placement census without a PlaceSpec accepted")
+	}
+}
+
+// TestShardMergeWithPlacement: the bit-for-bit merge property must hold
+// for placement censuses too (the Placed flag and per-pair summaries
+// travel through Merge).
+func TestShardMergeWithPlacement(t *testing.T) {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	cfg.PlaceSpec = "stub-settings"
+	cfg.Place = func(g, h grid.Spec) (*census.PlaceSummary, error) {
+		return &census.PlaceSummary{Desc: "stub", Dilation: 1, Peak: g.Dim() + h.Dim(), Score: 2}, nil
+	}
+	full := mustRun(t, cfg)
+	if !full.Placed {
+		t.Fatal("census did not record the placed flag")
+	}
+	parts := make([]*census.Census, 3)
+	for s := 0; s < 3; s++ {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, 3
+		parts[s] = mustRun(t, scfg)
+	}
+	merged, err := census.Merge(parts...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(encode(t, full), encode(t, merged)) {
+		t.Error("merged placement census differs from the unsharded run")
 	}
 }

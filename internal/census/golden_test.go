@@ -1,0 +1,79 @@
+package census_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"torusmesh/internal/census"
+	"torusmesh/internal/place"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden census artifact")
+
+// goldenPath names the committed artifact after the schema version it
+// pins, so a version bump forces a new file next to the old name.
+func goldenPath() string {
+	return filepath.Join("testdata", "census-v2.golden.json")
+}
+
+// goldenConfig is a small but full-featured census: metrics, congestion
+// and the placement search are all on, so every serialized field of the
+// schema appears in the golden artifact.
+func goldenConfig() census.Config {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	cfg.Place, cfg.PlaceSpec = place.CensusFunc(place.Config{
+		CapDilation: true,
+		Rotations:   true,
+		Budget:      32,
+		Strategies:  place.DefaultStrategies(),
+	})
+	return cfg
+}
+
+// TestGoldenArtifact pins the census artifact schema: the serialized
+// form of a fixed census must match the committed golden file byte for
+// byte. If this test fails you changed the artifact encoding — bump
+// census.ArtifactVersion (see its version history), regenerate with
+//
+//	go test ./internal/census -run Golden -update
+//
+// and commit the new golden under the new version's file name.
+func TestGoldenArtifact(t *testing.T) {
+	c := mustRun(t, goldenConfig())
+	got := encode(t, c)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenPath(), len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden artifact (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("census artifact drifted from %s.\n"+
+			"If the schema changed on purpose: bump census.ArtifactVersion, rename the golden for the new version,\n"+
+			"and regenerate with `go test ./internal/census -run Golden -update`.\n"+
+			"got %d bytes, want %d bytes", goldenPath(), len(got), len(want))
+	}
+	// The golden also re-decodes under the current schema version.
+	dec, err := census.Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden artifact does not decode: %v", err)
+	}
+	if dec.Version != census.ArtifactVersion {
+		t.Errorf("golden version %d does not match ArtifactVersion %d", dec.Version, census.ArtifactVersion)
+	}
+	if !dec.Placed || !dec.Congestion || !dec.Metrics {
+		t.Error("golden census should exercise metrics, congestion and placement columns")
+	}
+}

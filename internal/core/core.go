@@ -97,6 +97,28 @@ func dispatch(g, h grid.Spec) (*embed.Embedding, error) {
 	}
 }
 
+// EmbedViaPrimes always routes through the all-primes refinement, even
+// for pairs a direct construction covers. Its dilation bound is usually
+// weaker than Embed's pick, but the route through the prime-factor
+// intermediate distributes guest edges over host dimensions differently,
+// so the placement search enumerates it as an alternative strategy and
+// lets the congestion objective decide. Sizes must match; it fails only
+// when the refinement's own conditions do (never for valid same-size
+// pairs).
+func EmbedViaPrimes(g, h grid.Spec) (*embed.Embedding, error) {
+	if err := g.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: guest: %v", err)
+	}
+	if err := h.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: host: %v", err)
+	}
+	if g.Size() != h.Size() {
+		return nil, fmt.Errorf("core: guest %s has %d nodes but host %s has %d; the paper studies same-size embeddings",
+			g, g.Size(), h, h.Size())
+	}
+	return embedViaPrimeRefinement(g, h)
+}
+
 // embedViaPrimeRefinement is an extension beyond the paper's explicit
 // cases, built purely from its tools: every shape is an expansion of the
 // all-primes shape of its size, so G expands into the prime shape X

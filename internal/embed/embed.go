@@ -19,6 +19,7 @@ package embed
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -361,6 +362,48 @@ func Permute(from grid.Spec, p perm.Perm, toKind grid.Kind) (*Embedding, error) 
 	pc := append(perm.Perm(nil), p...)
 	return NewSeparable(from, to, "permute", 1, func(n grid.Node) grid.Node {
 		return grid.Node(perm.Apply(pc, n))
+	})
+}
+
+// Rotate returns the coordinate-rotation embedding of sp into itself:
+// node (x1,...,xd) maps to ((x1+r1) mod l1, ..., (xd+rd) mod ld).
+// Offsets are normalized modulo the dimension lengths. On a torus every
+// rotation is a graph automorphism (unit dilation, and — because
+// dimension-ordered routing commutes with rotation — congestion-neutral
+// too). On a mesh a nonzero rotation is merely a node bijection: it
+// tears the rotated dimension at the boundary, so no dilation guarantee
+// is recorded and the caller must measure. The placement search uses
+// mesh rotations as genuine new candidates and skips torus rotations as
+// metric-invariant.
+func Rotate(sp grid.Spec, offsets []int) (*Embedding, error) {
+	if len(offsets) != sp.Dim() {
+		return nil, fmt.Errorf("embed: rotation of %d offsets does not match dimension %d", len(offsets), sp.Dim())
+	}
+	r := make([]int, len(offsets))
+	zero := true
+	for j, v := range offsets {
+		l := sp.Shape[j]
+		r[j] = ((v % l) + l) % l
+		if r[j] != 0 {
+			zero = false
+		}
+	}
+	predicted := 0
+	if zero || sp.Kind == grid.Torus {
+		predicted = 1
+	}
+	parts := make([]string, len(r))
+	for j, v := range r {
+		parts[j] = fmt.Sprintf("%d", v)
+	}
+	strategy := "rotate(" + strings.Join(parts, ",") + ")"
+	shape := sp.Shape.Clone()
+	return NewSeparable(sp, sp, strategy, predicted, func(n grid.Node) grid.Node {
+		out := make(grid.Node, len(n))
+		for j, v := range n {
+			out[j] = (v + r[j]) % shape[j]
+		}
+		return out
 	})
 }
 

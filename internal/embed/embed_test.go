@@ -212,3 +212,57 @@ func TestAverageDilation(t *testing.T) {
 		t.Errorf("average dilation = %v, want %v", got, want)
 	}
 }
+
+func TestRotate(t *testing.T) {
+	// Torus rotations are automorphisms: unit dilation, verified.
+	tor := grid.TorusSpec(4, 3)
+	rot, err := Rotate(tor, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rot.Predicted != 1 {
+		t.Errorf("torus rotation predicted %d, want 1", rot.Predicted)
+	}
+	if err := rot.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := rot.Dilation(); d != 1 {
+		t.Errorf("torus rotation dilation %d, want 1", d)
+	}
+	if got := rot.Map(grid.Node{3, 2}); !got.Equal(grid.Node{0, 1}) {
+		t.Errorf("Map(3,2) = %v, want (0,1)", got)
+	}
+
+	// Offsets normalize modulo the lengths; all-zero is the identity.
+	id, err := Rotate(tor, []int{4, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := id.Map(grid.Node{1, 1}); !got.Equal(grid.Node{1, 1}) {
+		t.Errorf("normalized identity moved (1,1) to %v", got)
+	}
+	if id.Predicted != 1 {
+		t.Errorf("identity rotation predicted %d, want 1", id.Predicted)
+	}
+
+	// Mesh rotations are bijections but not automorphisms: the seam of
+	// the rotated dimension stretches across the whole axis.
+	msh := grid.LineSpec(6)
+	tear, err := Rotate(msh, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tear.Predicted != 0 {
+		t.Errorf("mesh rotation predicted %d, want 0 (no guarantee)", tear.Predicted)
+	}
+	if err := tear.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tear.Dilation(); d != 5 {
+		t.Errorf("line rotation dilation %d, want 5 (the seam edge)", d)
+	}
+
+	if _, err := Rotate(tor, []int{1}); err == nil {
+		t.Error("offset-length mismatch accepted")
+	}
+}

@@ -70,6 +70,39 @@ func (t Table) EvalBatch(dst, src []int) {
 	}
 }
 
+// InjectionViolation describes the first way a table fails to be an
+// injection into the host's rank range.
+type InjectionViolation struct {
+	// GuestRank is the offending pre-image, HostRank its image.
+	GuestRank, HostRank int
+	// OutOfBounds is true for a range violation; otherwise HostRank
+	// has a second pre-image below GuestRank.
+	OutOfBounds bool
+}
+
+// CheckInjection scans the table as a candidate injection into [0, n)
+// and returns the first violation, or nil. seen is caller-provided
+// bitset scratch of at least (n+31)/32 words (cleared here), so the
+// measurement engines — the census fast path and the placement
+// search's candidate gate — share one scan without allocating per
+// table.
+func (t Table) CheckInjection(n int, seen []uint32) *InjectionViolation {
+	words := (n + 31) / 32
+	clear(seen[:words])
+	for i, v := range t {
+		if v < 0 || v >= n {
+			return &InjectionViolation{GuestRank: i, HostRank: v, OutOfBounds: true}
+		}
+		w := &seen[v>>5]
+		bit := uint32(1) << (v & 31)
+		if *w&bit != 0 {
+			return &InjectionViolation{GuestRank: i, HostRank: v}
+		}
+		*w |= bit
+	}
+	return nil
+}
+
 // IndexFunc adapts a pure rank-to-rank function to the Kernel
 // interface. The function must be safe for concurrent calls.
 type IndexFunc func(int) int

@@ -224,6 +224,34 @@ func (rd *RankDistancer) MaxSum(ha, hb []int) (max int, sum int64) {
 	return max, sum
 }
 
+// EdgeDilation returns the maximum and mean distance, under rd, between
+// the relabeled endpoints table[a] and table[b] of every edge (a, b) of
+// the graph — the fused single-pass measurement of a placement table's
+// dilation and average dilation, shared by the census and placement
+// engines. ha and hb are caller-provided gather buffers of at least
+// DefaultEdgeBlock entries (both engines pool them). Every table entry
+// must be a valid rank for rd; callers validate the table first.
+func (sp Spec) EdgeDilation(table []int, rd *RankDistancer, ha, hb []int) (max int, avg float64) {
+	sum, edges := int64(0), int64(0)
+	sp.VisitEdgesBatchRange(0, sp.Size(), DefaultEdgeBlock, func(a, b []int) {
+		ga, gb := ha[:len(a)], hb[:len(b)]
+		for i := range a {
+			ga[i] = table[a[i]]
+			gb[i] = table[b[i]]
+		}
+		m, s := rd.MaxSum(ga, gb)
+		if m > max {
+			max = m
+		}
+		sum += s
+		edges += int64(len(a))
+	})
+	if edges > 0 {
+		avg = float64(sum) / float64(edges)
+	}
+	return max, avg
+}
+
 // EdgeCountRange returns the number of edges VisitEdgesBatchRange
 // enumerates for source ranks in [lo, hi).
 func (sp Spec) EdgeCountRange(lo, hi int) int {

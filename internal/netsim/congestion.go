@@ -25,6 +25,17 @@ type CongestionStats struct {
 	UsedLinks int
 }
 
+// AvgLink returns the mean load of the links that carry any traffic —
+// TotalHops spread over UsedLinks. Together with MaxLink it separates
+// "traffic is heavy everywhere" from "one link is a hotspot": the
+// placement search's objective weighs both.
+func (s CongestionStats) AvgLink() float64 {
+	if s.UsedLinks == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.UsedLinks)
+}
+
 // Congestion computes static congestion of a placement: every task edge
 // contributes its two directed routes. Edges are striped across workers
 // that accumulate per-worker link loads, merged at the end — the

@@ -105,3 +105,13 @@ func TestTorusWrapRouting(t *testing.T) {
 		t.Errorf("route 7->1 should pass through 0, got %v", path)
 	}
 }
+
+func TestAvgLink(t *testing.T) {
+	if got := (CongestionStats{}).AvgLink(); got != 0 {
+		t.Errorf("empty AvgLink = %v, want 0", got)
+	}
+	s := CongestionStats{TotalHops: 12, UsedLinks: 6, MaxLink: 3}
+	if got := s.AvgLink(); got != 2 {
+		t.Errorf("AvgLink = %v, want 2", got)
+	}
+}

@@ -9,6 +9,14 @@
 // one packet per link per cycle, deterministic dimension-ordered paths,
 // FIFO arbitration. It is enough to expose both dilation (path length)
 // and congestion (link contention) effects.
+//
+// Two entry points serve the two kinds of consumers. Simulate runs a
+// timed communication phase (cycles to drain, with link arbitration) —
+// the demonstration path of the experiments. Congestion skips time and
+// statically counts how many task-edge routes cross each directed link
+// on the internal/par pool — the measurement path behind the census's
+// congestion column and the scoring backend of the placement search
+// (internal/place), which calls it once per candidate embedding.
 package netsim
 
 import (

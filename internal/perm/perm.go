@@ -111,6 +111,37 @@ func Find(from, to []int) (Perm, bool) {
 	return p, true
 }
 
+// All returns every permutation of [k] in lexicographic order of their
+// image form. k must be small (the call is O(k!·k)); the placement
+// search caps the dimensions it enumerates. All(0) is empty.
+func All(k int) []Perm {
+	if k <= 0 {
+		return nil
+	}
+	var out []Perm
+	cur := make(Perm, 0, k)
+	used := make([]bool, k)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			out = append(out, append(Perm(nil), cur...))
+			return
+		}
+		for v := 0; v < k; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, v)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return out
+}
+
 // SameMultiset reports whether a and b contain the same values with the
 // same multiplicities.
 func SameMultiset(a, b []int) bool {

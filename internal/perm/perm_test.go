@@ -1,6 +1,7 @@
 package perm
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -131,4 +132,40 @@ func pseudoShuffle(k int, seed uint32) Perm {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
+}
+
+func TestAll(t *testing.T) {
+	if got := All(0); got != nil {
+		t.Errorf("All(0) = %v, want nil", got)
+	}
+	perms := All(3)
+	if len(perms) != 6 {
+		t.Fatalf("All(3) has %d permutations, want 6", len(perms))
+	}
+	if fmt.Sprint(perms[0]) != fmt.Sprint(Identity(3)) {
+		t.Errorf("All(3)[0] = %v, want identity", perms[0])
+	}
+	seen := map[string]bool{}
+	for i, p := range perms {
+		if err := p.Validate(); err != nil {
+			t.Errorf("All(3)[%d] = %v: %v", i, p, err)
+		}
+		key := fmt.Sprint(p)
+		if seen[key] {
+			t.Errorf("All(3) repeats %v", p)
+		}
+		seen[key] = true
+		if i > 0 && !lexLess(perms[i-1], p) {
+			t.Errorf("All(3) not lexicographic at %d: %v then %v", i, perms[i-1], p)
+		}
+	}
+}
+
+func lexLess(a, b Perm) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }

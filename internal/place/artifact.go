@@ -1,0 +1,77 @@
+// Artifact serialization. A search result serializes to a versioned
+// JSON document whose encoding is deterministic for a given Config —
+// struct field order is fixed, and the fields that depend on worker
+// scheduling (pruned count) or wall time are excluded — so repeated
+// searches of the same pair produce identical bytes, the property the
+// CI smoke diff relies on.
+
+package place
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ArtifactVersion is the schema version stamped into every artifact.
+// Decode rejects artifacts from other versions.
+const ArtifactVersion = 1
+
+// Encode writes the result as deterministic, human-readable JSON.
+func Encode(w io.Writer, r *Result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("place: encode: %v", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// EncodeBytes returns the result's artifact encoding.
+func (r *Result) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile saves the artifact to path.
+func (r *Result) WriteFile(path string) error {
+	data, err := r.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Decode reads one artifact, rejecting incompatible schema versions.
+// Decoded results carry costs only — the winning embedding itself is
+// not serialized and must be rebuilt by a fresh Search.
+func Decode(r io.Reader) (*Result, error) {
+	var res Result
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, fmt.Errorf("place: decode: %v", err)
+	}
+	if res.Version != ArtifactVersion {
+		return nil, fmt.Errorf("place: artifact version %d is incompatible (want %d)", res.Version, ArtifactVersion)
+	}
+	return &res, nil
+}
+
+// ReadFile loads an artifact from path.
+func ReadFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,264 @@
+// Candidate enumeration: the deterministic, tiered generation of
+// symmetry variants around the base strategies, and the construction of
+// one variant's composite embedding
+//
+//	hostRot ∘ hostPermBack ∘ base(guestPerm(G) → hostPerm(H)) ∘ guestPerm ∘ guestRot.
+//
+// The enumeration order is the contract the budget and the score
+// tie-break rely on: index 0 is the paper baseline, earlier tiers hold
+// the cheaper/simpler variants, and a truncated budget still samples
+// every generator before the permutation cross product.
+
+package place
+
+import (
+	"fmt"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+)
+
+// maxPermDim caps the dimension up to which axis permutations are
+// enumerated: beyond it the factorial group would dwarf any budget, so
+// only the identity ordering is kept.
+const maxPermDim = 7
+
+// variantSpec describes one candidate before construction. nil perms
+// and rotations mean identity/none.
+type variantSpec struct {
+	strategy     int // index into Config.Strategies
+	gperm, hperm perm.Perm
+	grot, hrot   []int
+}
+
+// key is the dedup identity of a variant.
+func (v variantSpec) key() string {
+	return fmt.Sprintf("%d|%v|%v|%v|%v", v.strategy, v.gperm, v.hperm, v.grot, v.hrot)
+}
+
+// describe fills the serializable form of the variant.
+func (v variantSpec) describe(idx int, cfg *Config) Candidate {
+	c := Candidate{Index: idx, Strategy: cfg.Strategies[v.strategy].Name}
+	c.GuestPerm = append([]int(nil), v.gperm...)
+	c.HostPerm = append([]int(nil), v.hperm...)
+	c.GuestRot = append([]int(nil), v.grot...)
+	c.HostRot = append([]int(nil), v.hrot...)
+	return c
+}
+
+// guestPerms returns the guest-side permutation generator: distinct
+// axis orderings only, since equal-length guest axis swaps are
+// automorphisms that leave every metric unchanged.
+func guestPerms(s grid.Shape) []perm.Perm {
+	if s.Dim() > maxPermDim {
+		return []perm.Perm{perm.Identity(s.Dim())}
+	}
+	return catalog.AxisOrderings(s)
+}
+
+// hostPerms returns the host-side permutation generator: the full
+// permutation group, because even an equal-length host axis swap
+// reorders dimension-ordered routing and changes congestion.
+func hostPerms(s grid.Shape) []perm.Perm {
+	if s.Dim() > maxPermDim {
+		return []perm.Perm{perm.Identity(s.Dim())}
+	}
+	return perm.All(s.Dim())
+}
+
+// rotOffsets returns the rotation amounts tried on one axis of length
+// l: a unit twist, the half turn, and the inverse unit twist.
+func rotOffsets(l int) []int {
+	out := []int{1}
+	if h := l / 2; h > 1 {
+		out = append(out, h)
+	}
+	if l-1 > l/2 && l-1 > 1 {
+		out = append(out, l-1)
+	}
+	return out
+}
+
+// isIdentity reports whether p maps every position to itself.
+func isIdentity(p perm.Perm) bool {
+	for j, v := range p {
+		if v != j {
+			return false
+		}
+	}
+	return true
+}
+
+// rotationSide returns the single-axis rotation count of one side of
+// the pair: zero for toruses, where rotations are metric-invariant.
+func rotationSide(sp grid.Spec) int {
+	if sp.Kind != grid.Mesh {
+		return 0
+	}
+	n := 0
+	for _, l := range sp.Shape {
+		n += len(rotOffsets(l))
+	}
+	return n
+}
+
+// enumerate generates the budget-truncated candidate list and the size
+// of the full space. The baseline (first strategy, identity
+// symmetries) is always entry 0. Generation stops as soon as the
+// budget is filled — the space size is computed arithmetically, so a
+// small budget never pays for a factorial cross product — and the
+// deduped tier walk makes both the list and the count independent of
+// the budget prefix they share.
+func enumerate(cfg *Config) ([]variantSpec, int) {
+	gps := guestPerms(cfg.Guest.Shape)
+	hps := hostPerms(cfg.Host.Shape)
+	// Tiers 0-2 are subsets of the tier-4 cross product, and rotation
+	// variants never collide with permutation variants, so the deduped
+	// space is exactly:
+	rotations := 0
+	if cfg.Rotations {
+		rotations = rotationSide(cfg.Guest) + rotationSide(cfg.Host)
+	}
+	space := len(cfg.Strategies) * (len(gps)*len(hps) + rotations)
+
+	all := make([]variantSpec, 0, min(cfg.Budget, space))
+	seen := map[string]bool{}
+	full := func() bool { return len(all) >= cfg.Budget }
+	add := func(v variantSpec) {
+		k := v.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		all = append(all, v)
+	}
+	norm := func(p perm.Perm) perm.Perm {
+		if isIdentity(p) {
+			return nil
+		}
+		return p
+	}
+
+	// Tier 0: every strategy at identity symmetries (baseline first).
+	for si := range cfg.Strategies {
+		if full() {
+			return all, space
+		}
+		add(variantSpec{strategy: si})
+	}
+	// Tier 1: host axis permutations — the congestion lever that keeps
+	// dilation intact.
+	for si := range cfg.Strategies {
+		for _, hp := range hps {
+			if full() {
+				return all, space
+			}
+			add(variantSpec{strategy: si, hperm: norm(hp)})
+		}
+	}
+	// Tier 2: guest axis permutations — changes the construction
+	// variant, hence possibly the dilation too.
+	for si := range cfg.Strategies {
+		for _, gp := range gps {
+			if full() {
+				return all, space
+			}
+			add(variantSpec{strategy: si, gperm: norm(gp)})
+		}
+	}
+	// Tier 3: single-axis digit rotations, mesh sides only (torus
+	// rotations are metric-invariant automorphisms).
+	if cfg.Rotations {
+		for si := range cfg.Strategies {
+			if cfg.Guest.Kind == grid.Mesh {
+				for j, l := range cfg.Guest.Shape {
+					for _, r := range rotOffsets(l) {
+						if full() {
+							return all, space
+						}
+						rot := make([]int, cfg.Guest.Dim())
+						rot[j] = r
+						add(variantSpec{strategy: si, grot: rot})
+					}
+				}
+			}
+			if cfg.Host.Kind == grid.Mesh {
+				for j, l := range cfg.Host.Shape {
+					for _, r := range rotOffsets(l) {
+						if full() {
+							return all, space
+						}
+						rot := make([]int, cfg.Host.Dim())
+						rot[j] = r
+						add(variantSpec{strategy: si, hrot: rot})
+					}
+				}
+			}
+		}
+	}
+	// Tier 4: the guest × host permutation cross product.
+	for si := range cfg.Strategies {
+		for _, gp := range gps {
+			for _, hp := range hps {
+				if full() {
+					return all, space
+				}
+				add(variantSpec{strategy: si, gperm: norm(gp), hperm: norm(hp)})
+			}
+		}
+	}
+	return all, space
+}
+
+// buildVariant constructs the composite embedding of one variant. Every
+// step is injective, so the composition is; Search verifies the
+// baseline and the winner as a safety net.
+func buildVariant(cfg *Config, v variantSpec) (*embed.Embedding, error) {
+	g, h := cfg.Guest, cfg.Host
+	var steps []*embed.Embedding
+	if v.grot != nil {
+		rot, err := embed.Rotate(g, v.grot)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, rot)
+	}
+	cur := g
+	if v.gperm != nil {
+		p, err := embed.Permute(cur, v.gperm, cur.Kind)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, p)
+		cur = p.To
+	}
+	hp := h
+	if v.hperm != nil {
+		hp = grid.Spec{Kind: h.Kind, Shape: grid.Shape(perm.Apply(v.hperm, h.Shape))}
+	}
+	base, err := cfg.Strategies[v.strategy].Embed(cur, hp)
+	if err != nil {
+		return nil, err
+	}
+	steps = append(steps, base)
+	if v.hperm != nil {
+		back, err := embed.Permute(hp, perm.Perm(v.hperm).Inverse(), h.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if !back.To.Shape.Equal(h.Shape) {
+			return nil, fmt.Errorf("place: internal error: host permutation %v does not invert for %s", v.hperm, h)
+		}
+		steps = append(steps, back)
+	}
+	if v.hrot != nil {
+		rot, err := embed.Rotate(h, v.hrot)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, rot)
+	}
+	return embed.ComposeAll(steps...)
+}

@@ -1,0 +1,43 @@
+// The census adapter: internal/census stays independent of the
+// placement engine (it takes an opaque PlaceFunc, the way it takes an
+// opaque EmbedFunc), and this file provides the one canonical way to
+// wire a Search template into it — shared by cmd/sweep, the top-level
+// torusmesh API and the golden artifact test.
+
+package place
+
+import (
+	"torusmesh/internal/census"
+	"torusmesh/internal/grid"
+)
+
+// Summary converts a scored candidate into the census column form.
+func Summary(c Candidate) *census.PlaceSummary {
+	return &census.PlaceSummary{
+		Desc:     c.Desc(),
+		Strategy: c.EmbedStrategy,
+		Dilation: c.Dilation,
+		Peak:     c.Peak,
+		AvgLink:  c.AvgLink,
+		Score:    c.Score,
+	}
+}
+
+// CensusFunc returns a census.PlaceFunc that runs Search with the
+// template config — Guest and Host are overwritten per pair — and
+// summarizes the winner, plus the template's canonical Spec string for
+// census.Config.PlaceSpec. Search is deterministic per pair, so
+// censuses built with it keep the bit-for-bit shard-merge property;
+// the spec string is how Merge tells same-settings shards apart.
+func CensusFunc(template Config) (census.PlaceFunc, string) {
+	fn := func(g, h grid.Spec) (*census.PlaceSummary, error) {
+		cfg := template
+		cfg.Guest, cfg.Host = g, h
+		res, err := Search(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return Summary(res.Best), nil
+	}
+	return fn, template.Spec()
+}

@@ -1,0 +1,574 @@
+// Package place is the congestion-aware placement engine: it turns the
+// repo's measurement stack (embed kernels for construction, netsim for
+// routing, par for parallelism) into an optimizer that searches, for one
+// (guest, host) pair, over a space of candidate embeddings and returns
+// the one minimizing a configurable objective
+//
+//	score = α·dilation + β·peakLinkLoad + γ·meanUsedLinkLoad
+//
+// where dilation is the measured worst edge stretch, peakLinkLoad the
+// largest number of guest-edge routes crossing any directed host link
+// under dimension-ordered routing (netsim.Congestion), and
+// meanUsedLinkLoad the traffic volume spread over the links that carry
+// any (CongestionStats.AvgLink).
+//
+// # The candidate space
+//
+// The paper's constructions minimize dilation; congestion is decided by
+// symmetries they leave free. Candidates are generated as
+//
+//	post ∘ base(gσ → hσ) ∘ pre
+//
+// from four deterministic generators:
+//
+//   - Strategies: alternative base constructions for the pair. The
+//     first strategy is the paper baseline (core.Embed's pick); callers
+//     typically add core.EmbedViaPrimes, whose route through the
+//     all-primes intermediate spreads guest edges across host
+//     dimensions differently.
+//   - Host axis permutations: embed into the axis-permuted host hσ,
+//     then permute back. The permutation back is an isometry — dilation
+//     is unchanged — but it reorders the dimensions that
+//     dimension-ordered routing corrects first, which redistributes
+//     link load. The full permutation group matters here (swapping two
+//     equal-length host axes swaps XY- for YX-routing), so the
+//     generator enumerates perm.All, not just distinct orderings.
+//   - Guest axis permutations: relabel the guest's axes before
+//     construction. Unlike the host side this changes which
+//     construction variant fires and hence the dilation too; only
+//     distinct orderings are enumerated (catalog.AxisOrderings),
+//     because permutations of equal-length guest axes differ by a guest
+//     automorphism, which maps the guest edge set onto itself and
+//     leaves every metric unchanged.
+//   - Digit rotations: pre/post-compose a per-axis cyclic coordinate
+//     rotation (embed.Rotate). On toruses rotations are automorphisms
+//     that commute with dimension-ordered routing — metric-invariant —
+//     so the generator emits them only for mesh guests and mesh hosts,
+//     where they are genuine (if usually dilation-hostile) candidates.
+//
+// Generators are tiered — strategies, then host permutations, then
+// guest permutations, then rotations, then the permutation cross
+// product — so a small Budget still samples every generator before the
+// cross product exhausts it.
+//
+// # Evaluation
+//
+// Candidates are scored concurrently on the internal/par pool. Each
+// worker constructs the composite embedding, validates it (strategies
+// are caller-injected, so a broken construction is discarded and
+// counted, not fatal — only the baseline is load-bearing), measures
+// dilation and average dilation in one fused pass over the guest's
+// edge blocks (grid.EdgeDilation on the materialized kernel table),
+// and only then routes the guest's edges for congestion — the
+// expensive half.
+// Two gates skip that half early: a candidate whose measured dilation
+// exceeds the cap (CapDilation pins the cap to the baseline's measured
+// dilation) is discarded, and a candidate whose dilation-only score
+// lower bound α·d + β + γ already exceeds the incumbent best score is
+// pruned. Pruning depends on scheduling, but never changes the result:
+// a pruned candidate's true score is strictly worse than the incumbent
+// it was compared against, so the best candidate — lowest score, ties
+// broken toward the lowest (earliest-tier) index — is deterministic,
+// and so is the JSON artifact (volatile counters are excluded).
+//
+// The baseline candidate (first strategy, identity permutations) is
+// always fully scored and verified, and reported next to the winner, so
+// callers can see the dilation/congestion trade the search made.
+package place
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/par"
+	"torusmesh/internal/taskgraph"
+)
+
+// EmbedFunc builds a base embedding for one pair — typically core.Embed
+// or core.EmbedViaPrimes. It must be safe for concurrent calls.
+type EmbedFunc func(g, h grid.Spec) (*embed.Embedding, error)
+
+// Strategy is a named base construction the search composes symmetry
+// variants around.
+type Strategy struct {
+	Name  string
+	Embed EmbedFunc
+}
+
+// Objective weighs the three placement costs. All weights must be
+// non-negative and at least one positive; the zero value is replaced by
+// DefaultObjective.
+type Objective struct {
+	// Alpha weighs the measured dilation (worst edge stretch).
+	Alpha float64 `json:"alpha"`
+	// Beta weighs the peak directed-link load (netsim congestion).
+	Beta float64 `json:"beta"`
+	// Gamma weighs the mean load of the links carrying any traffic.
+	Gamma float64 `json:"gamma"`
+}
+
+// DefaultObjective weighs dilation and peak congestion equally and
+// ignores mean link load.
+func DefaultObjective() Objective { return Objective{Alpha: 1, Beta: 1} }
+
+// Score evaluates the objective.
+func (o Objective) Score(dilation, peak int, avgLink float64) float64 {
+	return o.Alpha*float64(dilation) + o.Beta*float64(peak) + o.Gamma*avgLink
+}
+
+// ParseObjective parses the CLI weight form "α,β,γ", allowing "α,β"
+// with γ = 0 — shared by the place and sweep commands.
+func ParseObjective(s string) (Objective, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Objective{}, fmt.Errorf("objective must look like 1,1 or 1,2,0.5, got %q", s)
+	}
+	weights := make([]float64, 3)
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Objective{}, fmt.Errorf("bad objective weight %q: %v", p, err)
+		}
+		weights[i] = w
+	}
+	return Objective{Alpha: weights[0], Beta: weights[1], Gamma: weights[2]}, nil
+}
+
+// lowerBound is the cheapest score a candidate with the given dilation
+// can still reach. Adjacent guest nodes have distinct images, so every
+// embeddable pair has dilation >= 1, at least one used link, and mean
+// used-link load >= 1.
+func (o Objective) lowerBound(dilation int) float64 { return o.Score(dilation, 1, 1) }
+
+func (o Objective) validate() error {
+	if o.Alpha < 0 || o.Beta < 0 || o.Gamma < 0 {
+		return fmt.Errorf("place: objective weights must be non-negative, got (%g, %g, %g)", o.Alpha, o.Beta, o.Gamma)
+	}
+	return nil
+}
+
+// DefaultBudget caps the number of candidates a search constructs when
+// the config does not say otherwise.
+const DefaultBudget = 128
+
+// Config describes one placement search.
+type Config struct {
+	// Guest and Host must have the same size.
+	Guest, Host grid.Spec
+	// Objective is the score being minimized; the zero value means
+	// DefaultObjective.
+	Objective Objective
+	// Budget caps how many candidates are constructed and measured
+	// (the deterministic enumeration is truncated after Budget entries;
+	// the baseline is always first). <= 0 means DefaultBudget.
+	Budget int
+	// CapDilation discards every candidate whose measured dilation
+	// exceeds the baseline's, so the winner trades congestion at equal
+	// or better dilation.
+	CapDilation bool
+	// Rotations includes the digit-rotation generator (mesh sides
+	// only; torus rotations are metric-invariant automorphisms).
+	Rotations bool
+	// Strategies are the base constructions; Strategies[0] is the
+	// baseline the search reports against. At least one is required.
+	Strategies []Strategy
+}
+
+func (cfg *Config) validate() error {
+	if err := cfg.Guest.Shape.Validate(); err != nil {
+		return fmt.Errorf("place: guest: %v", err)
+	}
+	if err := cfg.Host.Shape.Validate(); err != nil {
+		return fmt.Errorf("place: host: %v", err)
+	}
+	if cfg.Guest.Size() != cfg.Host.Size() {
+		return fmt.Errorf("place: guest %s has %d nodes but host %s has %d; sizes must match",
+			cfg.Guest, cfg.Guest.Size(), cfg.Host, cfg.Host.Size())
+	}
+	if len(cfg.Strategies) == 0 {
+		return fmt.Errorf("place: at least one strategy is required")
+	}
+	for _, s := range cfg.Strategies {
+		if s.Name == "" || s.Embed == nil {
+			return fmt.Errorf("place: every strategy needs a name and an embed function")
+		}
+	}
+	if err := cfg.Objective.validate(); err != nil {
+		return err
+	}
+	if (cfg.Objective == Objective{}) {
+		cfg.Objective = DefaultObjective()
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultBudget
+	}
+	return nil
+}
+
+// Spec renders the settings that determine a pair's search result —
+// objective, budget, cap, rotation generator and strategy names — as
+// one canonical string, with the zero-value defaults applied the way
+// Search applies them. The census records it in its artifact so Merge
+// refuses to combine shards searched under different settings (mixed
+// settings would silently break the bit-for-bit merge invariant).
+func (cfg Config) Spec() string {
+	if (cfg.Objective == Objective{}) {
+		cfg.Objective = DefaultObjective()
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultBudget
+	}
+	names := make([]string, len(cfg.Strategies))
+	for i, s := range cfg.Strategies {
+		names[i] = s.Name
+	}
+	return fmt.Sprintf("objective=%g,%g,%g budget=%d cap=%t rotations=%t strategies=%s",
+		cfg.Objective.Alpha, cfg.Objective.Beta, cfg.Objective.Gamma,
+		cfg.Budget, cfg.CapDilation, cfg.Rotations, strings.Join(names, "+"))
+}
+
+// Candidate is one fully scored placement candidate: the symmetry
+// variant that produced it and its measured costs.
+type Candidate struct {
+	// Index is the candidate's position in the deterministic
+	// enumeration (0 is the baseline); it breaks score ties.
+	Index int `json:"index"`
+	// Strategy is the name of the base construction strategy.
+	Strategy string `json:"strategy"`
+	// GuestPerm/HostPerm are the axis permutations applied around the
+	// base construction (absent = identity).
+	GuestPerm []int `json:"guest_perm,omitempty"`
+	HostPerm  []int `json:"host_perm,omitempty"`
+	// GuestRot/HostRot are the per-axis coordinate rotations (absent =
+	// none).
+	GuestRot []int `json:"guest_rot,omitempty"`
+	HostRot  []int `json:"host_rot,omitempty"`
+	// EmbedStrategy names the construction chain of the composite
+	// embedding.
+	EmbedStrategy string `json:"embed_strategy"`
+	// Dilation and AvgDilation are measured over every guest edge.
+	Dilation    int     `json:"dilation"`
+	AvgDilation float64 `json:"avg_dilation"`
+	// Peak and AvgLink are the congestion costs under dimension-ordered
+	// routing.
+	Peak    int     `json:"peak"`
+	AvgLink float64 `json:"avg_link"`
+	// Score is the objective value.
+	Score float64 `json:"score"`
+}
+
+// Desc renders the symmetry variant compactly, e.g.
+// "paper hperm=[1 0] grot=[0 2]".
+func (c Candidate) Desc() string {
+	s := c.Strategy
+	if len(c.GuestPerm) > 0 {
+		s += fmt.Sprintf(" gperm=%v", c.GuestPerm)
+	}
+	if len(c.HostPerm) > 0 {
+		s += fmt.Sprintf(" hperm=%v", c.HostPerm)
+	}
+	if len(c.GuestRot) > 0 {
+		s += fmt.Sprintf(" grot=%v", c.GuestRot)
+	}
+	if len(c.HostRot) > 0 {
+		s += fmt.Sprintf(" hrot=%v", c.HostRot)
+	}
+	return s
+}
+
+// Result is the (serializable) outcome of one search. Every serialized
+// field is deterministic for a given Config; fields that depend on
+// scheduling or wall time are excluded from the artifact.
+type Result struct {
+	Version   int       `json:"version"`
+	Guest     string    `json:"guest"`
+	Host      string    `json:"host"`
+	Objective Objective `json:"objective"`
+	Budget    int       `json:"budget"`
+	// CapDilation is the effective dilation cap (0 = none; otherwise
+	// the baseline's measured dilation).
+	CapDilation int `json:"cap_dilation"`
+	// Space is the size of the full candidate space; Candidates is the
+	// number enumerated within the budget.
+	Space      int `json:"space"`
+	Candidates int `json:"candidates"`
+	// Unbuildable counts candidates whose base construction failed;
+	// Invalid counts candidates whose construction produced a broken
+	// (out-of-range or non-injective) embedding; Capped counts
+	// candidates discarded by the dilation cap. All are deterministic.
+	Unbuildable int `json:"unbuildable"`
+	Invalid     int `json:"invalid"`
+	Capped      int `json:"capped"`
+	// Baseline is the paper pick (first strategy, identity symmetries),
+	// always fully scored; Best is the objective winner.
+	Baseline Candidate `json:"baseline"`
+	Best     Candidate `json:"best"`
+
+	// Pruned counts candidates whose congestion scoring was skipped
+	// because their dilation-only bound already lost to the incumbent.
+	// It depends on worker scheduling and is excluded from the
+	// artifact, like Elapsed.
+	Pruned  int           `json:"-"`
+	Elapsed time.Duration `json:"-"`
+	// BestEmbedding is the verified winning embedding, for callers
+	// that want to use the placement rather than just read its costs.
+	BestEmbedding *embed.Embedding `json:"-"`
+}
+
+// Improved reports whether the search found a candidate with a strictly
+// better objective score than the paper baseline.
+func (r *Result) Improved() bool { return r.Best.Score < r.Baseline.Score }
+
+// searcher carries the immutable per-search state the candidate workers
+// share.
+type searcher struct {
+	cfg     *Config
+	tg      *taskgraph.Graph    // guest edge list, routed through the host
+	nw      *netsim.Network     // the host machine
+	rd      *grid.RankDistancer // compiled host distance
+	cap     int                 // dilation cap (0 = none)
+	scratch sync.Pool           // *measureBufs
+}
+
+// measureBufs is the per-worker scratch of the candidate pipeline: the
+// gather buffer pair of the fused measurement pass and the bitset of
+// the injectivity scan.
+type measureBufs struct {
+	a, b []int
+	seen []uint32
+}
+
+func newSearcher(cfg *Config) *searcher {
+	s := &searcher{
+		cfg: cfg,
+		tg:  taskgraph.FromSpec(cfg.Guest),
+		nw:  netsim.New(cfg.Host),
+		rd:  cfg.Host.NewRankDistancer(),
+	}
+	// Materialized (division-free) decode only pays off on the table
+	// fast path, which kernels take when the guest is at or below the
+	// materialization threshold; above it every candidate measures via
+	// the embedding's own paths and the tables would be dead weight
+	// (same gate as the census engine).
+	if cfg.Guest.Size() <= embed.MaterializeThreshold() {
+		s.rd.Materialize()
+	}
+	words := (cfg.Guest.Size() + 31) / 32
+	s.scratch.New = func() any {
+		return &measureBufs{
+			a:    make([]int, grid.DefaultEdgeBlock),
+			b:    make([]int, grid.DefaultEdgeBlock),
+			seen: make([]uint32, words),
+		}
+	}
+	return s
+}
+
+// validate rejects malformed candidate embeddings — an image out of the
+// host's rank range or two guest nodes sharing one — before they reach
+// the distance kernels, which index by host rank and would panic.
+// Strategies are caller-injected, so the engine treats construction
+// output as fallible, the way the census does.
+func (s *searcher) validate(e *embed.Embedding) error {
+	table, _ := e.Kernel().(embed.Table)
+	if table == nil {
+		return e.Verify()
+	}
+	sc := s.scratch.Get().(*measureBufs)
+	defer s.scratch.Put(sc)
+	if bad := table.CheckInjection(s.cfg.Guest.Size(), sc.seen); bad != nil {
+		if bad.OutOfBounds {
+			return fmt.Errorf("%s: image of guest rank %d (host rank %d) out of bounds for %s",
+				e.Strategy, bad.GuestRank, bad.HostRank, s.cfg.Host)
+		}
+		return fmt.Errorf("%s: host rank %d has two pre-images (one is guest rank %d)",
+			e.Strategy, bad.HostRank, bad.GuestRank)
+	}
+	return nil
+}
+
+// measure returns the dilation and average dilation of the embedding in
+// one fused pass over the guest's edge blocks when the kernel is
+// materialized, falling back to the embedding's own parallel paths.
+func (s *searcher) measure(e *embed.Embedding) (int, float64) {
+	table, _ := e.Kernel().(embed.Table)
+	if table == nil {
+		return e.Dilation(), e.AverageDilation()
+	}
+	sc := s.scratch.Get().(*measureBufs)
+	defer s.scratch.Put(sc)
+	return s.cfg.Guest.EdgeDilation(table, s.rd, sc.a, sc.b)
+}
+
+// congest routes the guest's edges through the host under the
+// embedding's placement — the expensive half of scoring.
+func (s *searcher) congest(e *embed.Embedding) (netsim.CongestionStats, error) {
+	var p netsim.Placement
+	if table, ok := e.Kernel().(embed.Table); ok {
+		p = netsim.Placement(table)
+	} else {
+		p = netsim.PlacementFromEmbedding(e)
+	}
+	return netsim.Congestion(s.nw, s.tg, p)
+}
+
+// score finishes evaluating one candidate from its already-measured
+// dilation costs: the congestion pass and the objective. Both the
+// baseline and the worker loop go through here, so every candidate is
+// scored on the same objective.
+func (s *searcher) score(idx int, v variantSpec, e *embed.Embedding, dil int, avg float64) (Candidate, error) {
+	c := v.describe(idx, s.cfg)
+	c.EmbedStrategy = e.Strategy
+	c.Dilation, c.AvgDilation = dil, avg
+	stats, err := s.congest(e)
+	if err != nil {
+		return Candidate{}, err
+	}
+	c.Peak = stats.MaxLink
+	c.AvgLink = stats.AvgLink()
+	c.Score = s.cfg.Objective.Score(c.Dilation, c.Peak, c.AvgLink)
+	return c, nil
+}
+
+// incumbent is the best fully scored candidate so far; ties go to the
+// lowest index, so earlier tiers (and the baseline above all) win draws.
+type incumbent struct {
+	mu   sync.Mutex
+	cand Candidate
+}
+
+func (in *incumbent) bound() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cand.Score
+}
+
+func (in *incumbent) offer(c Candidate) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c.Score < in.cand.Score || (c.Score == in.cand.Score && c.Index < in.cand.Index) {
+		in.cand = c
+	}
+}
+
+// Search enumerates the candidate space of the config's pair, scores
+// candidates concurrently with early pruning, and returns the
+// deterministic best next to the paper baseline. It fails when the pair
+// is invalid or the baseline strategy cannot embed it.
+func Search(cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	variants, space := enumerate(&cfg)
+	s := newSearcher(&cfg)
+
+	base, err := buildVariant(&cfg, variants[0])
+	if err != nil {
+		return nil, fmt.Errorf("place: baseline strategy %s failed for %s -> %s: %v",
+			cfg.Strategies[0].Name, cfg.Guest, cfg.Host, err)
+	}
+	if err := s.validate(base); err != nil {
+		return nil, fmt.Errorf("place: baseline embedding is broken: %v", err)
+	}
+	baseDil, baseAvg := s.measure(base)
+	baseline, err := s.score(0, variants[0], base, baseDil, baseAvg)
+	if err != nil {
+		return nil, fmt.Errorf("place: baseline scoring failed: %v", err)
+	}
+	if cfg.CapDilation {
+		s.cap = baseline.Dilation
+	}
+
+	inc := &incumbent{cand: baseline}
+	var mu sync.Mutex
+	unbuildable, invalid, capped, pruned := 0, 0, 0, 0
+	var firstErr error
+	par.Blocks(len(variants)-1, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			idx := k + 1
+			v := variants[idx]
+			e, err := buildVariant(&cfg, v)
+			if err != nil {
+				mu.Lock()
+				unbuildable++
+				mu.Unlock()
+				continue
+			}
+			// A broken candidate is discarded, not fatal: only the
+			// baseline is load-bearing.
+			if err := s.validate(e); err != nil {
+				mu.Lock()
+				invalid++
+				mu.Unlock()
+				continue
+			}
+			dil, avg := s.measure(e)
+			if s.cap > 0 && dil > s.cap {
+				mu.Lock()
+				capped++
+				mu.Unlock()
+				continue
+			}
+			// A candidate whose cheapest possible score is already
+			// strictly worse than the incumbent cannot win or tie; skip
+			// the routing pass. Strictness keeps the winner independent
+			// of scheduling.
+			if cfg.Objective.lowerBound(dil) > inc.bound() {
+				mu.Lock()
+				pruned++
+				mu.Unlock()
+				continue
+			}
+			c, err := s.score(idx, v, e, dil, avg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("place: candidate %d: %v", idx, err)
+				}
+				mu.Unlock()
+				continue
+			}
+			inc.offer(c)
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{
+		Version:     ArtifactVersion,
+		Guest:       cfg.Guest.String(),
+		Host:        cfg.Host.String(),
+		Objective:   cfg.Objective,
+		Budget:      cfg.Budget,
+		CapDilation: s.cap,
+		Space:       space,
+		Candidates:  len(variants),
+		Unbuildable: unbuildable,
+		Invalid:     invalid,
+		Capped:      capped,
+		Baseline:    baseline,
+		Best:        inc.cand,
+		Pruned:      pruned,
+	}
+	best := base
+	if res.Best.Index != 0 {
+		best, err = buildVariant(&cfg, variants[res.Best.Index])
+		if err != nil {
+			return nil, fmt.Errorf("place: rebuilding winner %d: %v", res.Best.Index, err)
+		}
+		if err := s.validate(best); err != nil {
+			return nil, fmt.Errorf("place: winning embedding is broken: %v", err)
+		}
+	}
+	res.BestEmbedding = best
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

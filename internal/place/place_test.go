@@ -1,0 +1,410 @@
+package place
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"torusmesh/internal/core"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/taskgraph"
+)
+
+// TestSearchBeatsBaseline pins the repo's acceptance pair: for
+// torus(8x2) -> mesh(4x4) the search must find a placement with
+// strictly lower peak congestion than the paper baseline at equal or
+// better dilation.
+func TestSearchBeatsBaseline(t *testing.T) {
+	res, err := Search(Config{
+		Guest:       grid.TorusSpec(8, 2),
+		Host:        grid.MeshSpec(4, 4),
+		CapDilation: true,
+		Rotations:   true,
+		Budget:      96,
+		Strategies:  DefaultStrategies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Peak >= res.Baseline.Peak {
+		t.Errorf("best peak %d does not beat baseline peak %d", res.Best.Peak, res.Baseline.Peak)
+	}
+	if res.Best.Dilation > res.Baseline.Dilation {
+		t.Errorf("best dilation %d worse than baseline %d despite cap", res.Best.Dilation, res.Baseline.Dilation)
+	}
+	if !res.Improved() {
+		t.Errorf("Improved() = false for a strictly better candidate")
+	}
+	if res.BestEmbedding == nil {
+		t.Fatal("missing BestEmbedding")
+	}
+	// The reported costs must be the costs of the returned embedding.
+	if err := res.BestEmbedding.Verify(); err != nil {
+		t.Fatalf("winning embedding: %v", err)
+	}
+	if d := res.BestEmbedding.DilationPerNode(); d != res.Best.Dilation {
+		t.Errorf("reported dilation %d, embedding measures %d", res.Best.Dilation, d)
+	}
+	stats, err := netsim.Congestion(netsim.New(res.BestEmbedding.To),
+		taskgraph.FromSpec(res.BestEmbedding.From),
+		netsim.PlacementFromEmbedding(res.BestEmbedding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxLink != res.Best.Peak {
+		t.Errorf("reported peak %d, netsim measures %d", res.Best.Peak, stats.MaxLink)
+	}
+}
+
+// TestSearchDeterministic: repeated searches of the same config must
+// produce bit-identical artifacts even though candidate scoring (and
+// hence pruning) is scheduled concurrently.
+func TestSearchDeterministic(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.TorusSpec(12, 3),
+		Host:       grid.TorusSpec(9, 4),
+		Rotations:  true,
+		Budget:     64,
+		Strategies: DefaultStrategies(),
+	}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		res, err := Search(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatalf("run %d produced a different artifact:\n%s\nvs\n%s", i, first, data)
+		}
+	}
+}
+
+// TestArtifactRoundTrip: decode(encode(r)) re-encodes to the same
+// bytes, and incompatible versions are rejected.
+func TestArtifactRoundTrip(t *testing.T) {
+	res, err := Search(Config{
+		Guest:      grid.MeshSpec(6, 4),
+		Host:       grid.MeshSpec(8, 3),
+		Budget:     32,
+		Strategies: DefaultStrategies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := dec.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("artifact did not round-trip:\n%s\nvs\n%s", data, again)
+	}
+	bad := *res
+	bad.Version = ArtifactVersion + 1
+	badData, err := bad.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(badData)); err == nil {
+		t.Error("decode accepted an incompatible artifact version")
+	}
+}
+
+// TestTiesGoToBaseline: when nothing strictly beats the paper pick, the
+// baseline itself must win (lowest index on equal scores), so reported
+// improvements are never scheduling artifacts.
+func TestTiesGoToBaseline(t *testing.T) {
+	res, err := Search(Config{
+		Guest:      grid.RingSpec(16),
+		Host:       grid.TorusSpec(4, 4),
+		Rotations:  true,
+		Strategies: DefaultStrategies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring routes along a Hamiltonian circuit: dilation 1, every
+	// link carrying one route. Nothing can do better.
+	if res.Baseline.Dilation != 1 || res.Baseline.Peak != 1 {
+		t.Fatalf("baseline = d%d/p%d, want 1/1", res.Baseline.Dilation, res.Baseline.Peak)
+	}
+	if res.Best.Index != 0 {
+		t.Errorf("tie broken away from the baseline: best index %d (score %v vs %v)",
+			res.Best.Index, res.Best.Score, res.Baseline.Score)
+	}
+}
+
+// TestCapDilation: with the cap on, the winner can never dilate worse
+// than the paper baseline, whatever the objective weights say.
+func TestCapDilation(t *testing.T) {
+	for _, pair := range [][2]grid.Spec{
+		{grid.TorusSpec(8, 2), grid.MeshSpec(4, 4)},
+		{grid.MeshSpec(12, 2), grid.TorusSpec(6, 4)},
+		{grid.TorusSpec(9, 2, 2), grid.TorusSpec(6, 6)},
+	} {
+		res, err := Search(Config{
+			Guest:       pair[0],
+			Host:        pair[1],
+			Objective:   Objective{Beta: 1}, // congestion only
+			CapDilation: true,
+			Rotations:   true,
+			Budget:      64,
+			Strategies:  DefaultStrategies(),
+		})
+		if err != nil {
+			t.Fatalf("%s -> %s: %v", pair[0], pair[1], err)
+		}
+		if res.Best.Dilation > res.Baseline.Dilation {
+			t.Errorf("%s -> %s: cap violated: best dilation %d > baseline %d",
+				pair[0], pair[1], res.Best.Dilation, res.Baseline.Dilation)
+		}
+		if res.CapDilation != res.Baseline.Dilation {
+			t.Errorf("%s -> %s: effective cap %d, want baseline dilation %d",
+				pair[0], pair[1], res.CapDilation, res.Baseline.Dilation)
+		}
+	}
+}
+
+// TestEnumerationContract: the baseline is entry 0, entries are unique,
+// and the budget truncates the space deterministically.
+func TestEnumerationContract(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.TorusSpec(6, 3, 2),
+		Host:       grid.TorusSpec(9, 4),
+		Rotations:  true,
+		Budget:     10,
+		Strategies: DefaultStrategies(),
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	vs, space := enumerate(&cfg)
+	if len(vs) != 10 {
+		t.Fatalf("budget 10 enumerated %d candidates", len(vs))
+	}
+	if space <= 10 {
+		t.Fatalf("space %d should exceed the budget for this pair", space)
+	}
+	v0 := vs[0]
+	if v0.strategy != 0 || v0.gperm != nil || v0.hperm != nil || v0.grot != nil || v0.hrot != nil {
+		t.Fatalf("entry 0 is not the baseline: %+v", v0)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.key()] {
+			t.Fatalf("duplicate candidate %s", v.key())
+		}
+		seen[v.key()] = true
+	}
+	// The full run records the same numbers.
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 10 || res.Space != space {
+		t.Errorf("result reports %d/%d, want 10/%d", res.Candidates, res.Space, space)
+	}
+	// The arithmetic space size must agree with an exhaustive
+	// enumeration (generation stops at the budget, the count must not).
+	wide := cfg
+	wide.Budget = 1 << 20
+	vsAll, spaceAll := enumerate(&wide)
+	if spaceAll != space || len(vsAll) != space {
+		t.Errorf("space formula %d disagrees with exhaustive enumeration %d/%d", space, spaceAll, len(vsAll))
+	}
+	if len(vsAll) < 10 {
+		t.Fatalf("exhaustive enumeration too small: %d", len(vsAll))
+	}
+	for i, v := range vsAll[:10] {
+		if v.key() != vs[i].key() {
+			t.Errorf("budget prefix diverges at %d: %s vs %s", i, v.key(), vs[i].key())
+		}
+	}
+	// Same formula-vs-enumeration agreement with mesh sides, where the
+	// rotation generator contributes to the space.
+	meshCfg := Config{
+		Guest:      grid.MeshSpec(6, 4),
+		Host:       grid.MeshSpec(8, 3),
+		Rotations:  true,
+		Budget:     1 << 20,
+		Strategies: DefaultStrategies(),
+	}
+	if err := meshCfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	vsMesh, spaceMesh := enumerate(&meshCfg)
+	if len(vsMesh) != spaceMesh {
+		t.Errorf("mesh pair: space formula %d disagrees with exhaustive enumeration %d", spaceMesh, len(vsMesh))
+	}
+}
+
+// TestMeasureMatchesPerNode: the fused table measurement path must
+// agree with the per-node reference walk for composite candidates.
+func TestMeasureMatchesPerNode(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.TorusSpec(8, 2),
+		Host:       grid.MeshSpec(4, 4),
+		Rotations:  true,
+		Budget:     32,
+		Strategies: DefaultStrategies(),
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := enumerate(&cfg)
+	s := newSearcher(&cfg)
+	checked := 0
+	for _, v := range vs {
+		e, err := buildVariant(&cfg, v)
+		if err != nil {
+			continue
+		}
+		dil, avg := s.measure(e)
+		if want := e.DilationPerNode(); dil != want {
+			t.Errorf("%s: fused dilation %d, per-node %d", v.key(), dil, want)
+		}
+		if want := e.AverageDilationPerNode(); avg != want {
+			t.Errorf("%s: fused avg %v, per-node %v", v.key(), avg, want)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d candidates were buildable", checked)
+	}
+}
+
+// TestConfigValidation rejects the misconfigurations.
+func TestConfigValidation(t *testing.T) {
+	good := func() Config {
+		return Config{
+			Guest:      grid.RingSpec(6),
+			Host:       grid.MeshSpec(3, 2),
+			Strategies: DefaultStrategies(),
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"size mismatch", func(c *Config) { c.Host = grid.MeshSpec(4, 2) }},
+		{"no strategies", func(c *Config) { c.Strategies = nil }},
+		{"anonymous strategy", func(c *Config) { c.Strategies = []Strategy{{Embed: core.Embed}} }},
+		{"negative weight", func(c *Config) { c.Objective = Objective{Alpha: -1} }},
+	}
+	for _, tc := range cases {
+		cfg := good()
+		tc.mutate(&cfg)
+		if _, err := Search(cfg); err == nil {
+			t.Errorf("%s: Search accepted the config", tc.name)
+		}
+	}
+	// The zero objective and budget take defaults.
+	cfg := good()
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != DefaultObjective() {
+		t.Errorf("zero objective not defaulted: %+v", res.Objective)
+	}
+	if res.Budget != DefaultBudget {
+		t.Errorf("zero budget not defaulted: %d", res.Budget)
+	}
+}
+
+// TestRotationInvariance documents why the torus generator is skipped:
+// rotating a torus host is an automorphism that commutes with
+// dimension-ordered routing, so dilation and congestion are unchanged.
+func TestRotationInvariance(t *testing.T) {
+	g, h := grid.RingSpec(12), grid.TorusSpec(4, 3)
+	base, err := core.Embed(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := embed.Rotate(h, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := embed.Compose(base, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := taskgraph.FromSpec(g)
+	nw := netsim.New(h)
+	s1, err := netsim.Congestion(nw, tg, netsim.PlacementFromEmbedding(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := netsim.Congestion(nw, tg, netsim.PlacementFromEmbedding(rotated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("torus rotation changed congestion: %+v vs %+v", s1, s2)
+	}
+	if d1, d2 := base.DilationPerNode(), rotated.DilationPerNode(); d1 != d2 {
+		t.Errorf("torus rotation changed dilation: %d vs %d", d1, d2)
+	}
+}
+
+// TestBrokenStrategyIsDiscarded: strategies are caller-injected, so a
+// construction that returns a non-injective or out-of-range embedding
+// must be counted and skipped — never panic the distance kernels or
+// fail the search (only the baseline is load-bearing).
+func TestBrokenStrategyIsDiscarded(t *testing.T) {
+	g, h := grid.TorusSpec(8, 2), grid.MeshSpec(4, 4)
+	n := g.Size()
+	collapse := make([]int, n) // every node onto host rank 0: not injective
+	outOfRange := make([]int, n)
+	for i := range outOfRange {
+		outOfRange[i] = n + i
+	}
+	broken := func(table []int) EmbedFunc {
+		return func(gs, hs grid.Spec) (*embed.Embedding, error) {
+			if !gs.Shape.Equal(g.Shape) || !hs.Shape.Equal(h.Shape) {
+				// Permuted variants: refuse, so only the identity
+				// variant exercises the broken table.
+				return nil, fmt.Errorf("broken strategy only handles the base pair")
+			}
+			return embed.FromTable(gs, hs, "broken", 0, table)
+		}
+	}
+	for name, table := range map[string][]int{"collapsing": collapse, "out-of-range": outOfRange} {
+		res, err := Search(Config{
+			Guest:  g,
+			Host:   h,
+			Budget: 16,
+			Strategies: []Strategy{
+				DefaultStrategies()[0],
+				{Name: "bad", Embed: broken(table)},
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: search failed instead of discarding the broken candidate: %v", name, err)
+		}
+		if res.Invalid == 0 {
+			t.Errorf("%s: broken candidate was not counted invalid", name)
+		}
+		if res.Best.Strategy == "bad" {
+			t.Errorf("%s: a broken candidate won", name)
+		}
+		if err := res.BestEmbedding.Verify(); err != nil {
+			t.Errorf("%s: winner does not verify: %v", name, err)
+		}
+	}
+}

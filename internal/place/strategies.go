@@ -1,0 +1,17 @@
+package place
+
+import "torusmesh/internal/core"
+
+// DefaultStrategies is the canonical base-construction list shared by
+// cmd/place, `sweep -place` and the torusmesh.Place veneer, so all
+// three search the same candidate space for a pair: the paper
+// dispatcher's pick, and the always-applicable all-primes refinement,
+// whose different spread of guest edges across host dimensions often
+// wins on congestion. Strategies stay injectable (Config.Strategies)
+// for callers that want a different space.
+func DefaultStrategies() []Strategy {
+	return []Strategy{
+		{Name: "paper", Embed: core.Embed},
+		{Name: "primes", Embed: core.EmbedViaPrimes},
+	}
+}

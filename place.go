@@ -1,0 +1,66 @@
+package torusmesh
+
+import "torusmesh/internal/place"
+
+// PlacementObjective weighs the three placement costs the search
+// minimizes: α·dilation + β·peakLinkLoad + γ·meanUsedLinkLoad.
+type PlacementObjective = place.Objective
+
+// PlacementCandidate is one fully scored placement candidate: the
+// symmetry variant that produced it and its measured costs.
+type PlacementCandidate = place.Candidate
+
+// PlacementResult is the outcome of a placement search: the best
+// candidate found next to the paper baseline, the effective search
+// parameters, and the verified winning embedding (BestEmbedding).
+type PlacementResult = place.Result
+
+// PlacementOptions tunes PlaceWith. The zero value of Objective and
+// Budget means their defaults; DefaultPlacementOptions is the
+// configuration Place uses.
+type PlacementOptions struct {
+	// Objective is the score being minimized (zero value: dilation and
+	// peak congestion weighted equally).
+	Objective PlacementObjective
+	// Budget caps how many candidates are constructed and measured
+	// (<= 0: a default of place.DefaultBudget).
+	Budget int
+	// CapDilation discards candidates dilating worse than the paper
+	// baseline, so the winner trades congestion at equal or better
+	// dilation.
+	CapDilation bool
+	// Rotations includes digit-rotation candidates (mesh sides only;
+	// torus rotations are metric-invariant automorphisms).
+	Rotations bool
+}
+
+// DefaultPlacementOptions caps dilation at the baseline's and enables
+// every candidate generator.
+func DefaultPlacementOptions() PlacementOptions {
+	return PlacementOptions{CapDilation: true, Rotations: true}
+}
+
+// Place searches for a congestion-aware placement of g on h: candidate
+// embeddings (the paper's construction and the all-primes refinement,
+// composed with axis permutations and digit rotations) are scored on
+// dilation and netsim link congestion, and the best is returned next to
+// the paper baseline. The winner never dilates worse than the baseline
+// (DefaultPlacementOptions caps dilation); use PlaceWith to trade
+// differently.
+func Place(g, h Spec) (*PlacementResult, error) {
+	return PlaceWith(g, h, DefaultPlacementOptions())
+}
+
+// PlaceWith is Place with explicit objective, budget and generator
+// options.
+func PlaceWith(g, h Spec, opts PlacementOptions) (*PlacementResult, error) {
+	return place.Search(place.Config{
+		Guest:       g,
+		Host:        h,
+		Objective:   opts.Objective,
+		Budget:      opts.Budget,
+		CapDilation: opts.CapDilation,
+		Rotations:   opts.Rotations,
+		Strategies:  place.DefaultStrategies(),
+	})
+}
