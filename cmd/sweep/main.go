@@ -14,9 +14,23 @@
 //	sweep -n 60 -congestion -place -place-budget 32
 //	sweep -n 360 -shard 2/8 -json s2.json
 //	sweep -merge -json full.json s0.json s1.json ... s7.json
+//	sweep -merge -json full.json 'shards/*.json'   # or just: shards/
+//	sweep -n 360 -shard 2/8 -worker > s2.ndjson    # NDJSON stream mode
+//
+// -merge arguments may be files, globs, or directories (a directory
+// means every *.json and *.ndjson inside it); both the JSON document
+// and the NDJSON stream artifact forms are accepted.
+//
+// -worker turns the process into a shard worker for the distributed
+// driver (cmd/sweepd): instead of a human report, the shard census
+// streams to stdout as NDJSON — a versioned header line, then one
+// result per line, each flushed as soon as its pair finishes, so a
+// killed worker leaves a usable prefix. With -resume the worker scans
+// a partial stream artifact first and skips pairs already present.
 //
 // Exit codes: 0 = success; 1 = verification failures (a construction
-// broke injectivity or its dilation guarantee — a library bug); 2 =
+// broke injectivity or its dilation guarantee — a library bug; not
+// used in -worker mode, where failures travel inside the records); 2 =
 // usage, configuration or artifact-validation errors (bad flags,
 // unreadable or incompatible shard artifacts, missing or duplicated
 // shards in a -merge).
@@ -27,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,6 +61,10 @@ import (
 const (
 	exitVerifyFailures = 1
 	exitUsage          = 2
+	// exitWorkerAbort is the -worker-abort testing hook's exit code: a
+	// deliberately crashed worker, distinct from usage errors so the
+	// driver smoke can tell the injected failure from a broken setup.
+	exitWorkerAbort = 3
 )
 
 func main() {
@@ -58,7 +77,12 @@ func main() {
 	placeBudget := flag.Int("place-budget", 32, "candidate budget of each per-pair placement search")
 	placeObjective := flag.String("place-objective", "1,1,0", "placement objective weights α,β,γ")
 	jsonOut := flag.String("json", "", "write the census artifact to this file")
-	merge := flag.Bool("merge", false, "merge the shard artifacts named as arguments instead of sweeping")
+	ndjsonOut := flag.String("ndjson", "", "write the census as an NDJSON stream artifact to this file")
+	merge := flag.Bool("merge", false, "merge the shard artifacts (files, globs or directories) named as arguments instead of sweeping")
+	worker := flag.Bool("worker", false, "distributed-driver worker mode: stream the shard census as NDJSON on stdout")
+	resume := flag.String("resume", "", "worker mode: scan this partial NDJSON artifact and skip pairs already present")
+	workerAbort := flag.Int("worker-abort", 0,
+		"worker mode testing hook: exit(3) mid-stream after emitting this many records (0 = never)")
 	showShapes := flag.Bool("shapes", false, "list the canonical shapes first")
 	threshold := flag.Int("threshold", embed.MaterializeThreshold(),
 		"guest-size cutoff for kernel table materialization (<= 0 disables)")
@@ -66,19 +90,27 @@ func main() {
 	flag.Parse()
 
 	if *merge {
-		runMerge(flag.Args(), *jsonOut)
+		runMerge(flag.Args(), *jsonOut, *ndjsonOut)
 		return
 	}
 	embed.SetMaterializeThreshold(*threshold)
 	if *n < 2 {
 		fatalf("sweep: -n must be at least 2")
 	}
+	if !*worker && (*resume != "" || *workerAbort != 0) {
+		fatalf("sweep: -resume and -worker-abort require -worker")
+	}
+	if *worker && (*jsonOut != "" || *ndjsonOut != "") {
+		// The worker's artifact is its stdout stream; silently writing
+		// nothing to the named files would strand a later -merge.
+		fatalf("sweep: -json and -ndjson cannot be combined with -worker")
+	}
 	shardIdx, shardCount, err := parseShard(*shard)
 	if err != nil {
 		fatalf("sweep: %v", err)
 	}
 	shapes := catalog.CanonicalShapesOfSize(*n, *maxDim)
-	if *showShapes {
+	if *showShapes && !*worker {
 		for _, s := range shapes {
 			fmt.Println(s)
 		}
@@ -108,6 +140,10 @@ func main() {
 			Strategies:  place.DefaultStrategies(),
 		})
 	}
+	if *worker {
+		runWorker(cfg, *resume, *workerAbort)
+		return
+	}
 	c, err := census.Run(cfg)
 	if err != nil {
 		fatalf("sweep: %v", err)
@@ -120,19 +156,60 @@ func main() {
 		}
 		fmt.Println()
 	}
-	save(c, *jsonOut)
+	save(c, *jsonOut, *ndjsonOut)
 	exitCode(c)
+}
+
+// runWorker is the distributed-driver worker mode: evaluate the shard
+// and stream its census as NDJSON on stdout, one record per finished
+// pair. With a resume artifact, pairs already present are skipped. The
+// process exits 0 even when records carry verification failures — in
+// worker mode those are data for the driver, which surfaces them in
+// the merged census.
+func runWorker(cfg census.Config, resume string, abortAfter int) {
+	if resume != "" {
+		h, done, err := census.ScanStreamFile(resume)
+		if err != nil {
+			fatalf("sweep: -resume: %v", err)
+		}
+		if err := h.SameCensus(cfg.StreamHeader()); err != nil {
+			fatalf("sweep: -resume artifact does not match this sweep: %v", err)
+		}
+		skip := make(map[int]bool, len(done))
+		for i := range done {
+			skip[done[i].Index] = true
+		}
+		cfg.Skip = func(i int) bool { return skip[i] }
+	}
+	sw, err := census.NewStreamWriter(os.Stdout, cfg.StreamHeader())
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	emitted := 0
+	cfg.OnResult = func(r *census.PairResult) {
+		if err := sw.Write(r); err != nil {
+			fatalf("sweep: stream write: %v", err)
+		}
+		emitted++
+		if abortAfter > 0 && emitted >= abortAfter {
+			// Testing hook: die the way a crashed or killed worker
+			// would, mid-stream with a nonzero exit.
+			fmt.Fprintf(os.Stderr, "sweep: -worker-abort after %d record(s)\n", emitted)
+			os.Exit(exitWorkerAbort)
+		}
+	}
+	if _, err := census.Run(cfg); err != nil {
+		fatalf("sweep: %v", err)
+	}
 }
 
 // runMerge combines shard artifacts, reports the merged census, and
 // optionally writes it back out.
-func runMerge(paths []string, jsonOut string) {
-	if len(paths) == 0 {
-		fatalf("sweep: -merge needs at least one artifact file")
-	}
+func runMerge(args []string, jsonOut, ndjsonOut string) {
+	paths := expandArtifactArgs(args)
 	parts := make([]*census.Census, len(paths))
 	for i, p := range paths {
-		c, err := census.ReadFile(p)
+		c, err := census.ReadFileAny(p)
 		if err != nil {
 			fatalf("sweep: %v", err)
 		}
@@ -144,8 +221,50 @@ func runMerge(paths []string, jsonOut string) {
 	}
 	fmt.Printf("merged %d shard artifact(s)\n", len(parts))
 	report(os.Stdout, c)
-	save(c, jsonOut)
+	save(c, jsonOut, ndjsonOut)
 	exitCode(c)
+}
+
+// expandArtifactArgs resolves -merge arguments: a directory expands to
+// every *.json and *.ndjson inside it, a glob pattern to its matches,
+// and anything else must be an existing file. An argument that matches
+// nothing is a usage error — silently merging fewer shards than the
+// operator listed would be caught by Merge's completeness check only
+// if an entire shard went missing, not if a duplicate-covering file
+// did, so fail early and name the argument.
+func expandArtifactArgs(args []string) []string {
+	if len(args) == 0 {
+		fatalf("sweep: -merge needs at least one artifact file, glob or directory")
+	}
+	var paths []string
+	for _, arg := range args {
+		if info, err := os.Stat(arg); err == nil && info.IsDir() {
+			var inDir []string
+			for _, pat := range []string{"*.json", "*.ndjson"} {
+				m, err := filepath.Glob(filepath.Join(arg, pat))
+				if err != nil {
+					fatalf("sweep: %s: %v", arg, err)
+				}
+				inDir = append(inDir, m...)
+			}
+			if len(inDir) == 0 {
+				fatalf("sweep: directory %s holds no *.json or *.ndjson artifacts", arg)
+			}
+			sort.Strings(inDir)
+			paths = append(paths, inDir...)
+			continue
+		}
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			fatalf("sweep: bad pattern %q: %v", arg, err)
+		}
+		if len(matches) == 0 {
+			fatalf("sweep: no artifact matches %q", arg)
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	return paths
 }
 
 // report prints the census summary: the coverage header with
@@ -180,17 +299,13 @@ func report(w io.Writer, c *census.Census) {
 		header += "\tdilation histogram"
 	}
 	if c.Congestion {
-		header += "\tpeak congestion"
+		header += "\tpeak congestion\tcongestion histogram"
 	}
 	if c.Placed {
 		header += "\tplace wins"
 	}
 	fmt.Fprintln(tw, header)
-	var hist map[string]map[int]int
 	var peak, wins map[string]int
-	if c.Metrics {
-		hist = c.DilationHistogram()
-	}
 	if c.Congestion {
 		peak = c.PeakCongestion()
 	}
@@ -203,12 +318,19 @@ func report(w io.Writer, c *census.Census) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
+		// The histogram columns render the artifact's per-strategy
+		// histogram block, so what the report shows is exactly what a
+		// consumer of the JSON artifact would read.
+		sh := c.Histograms[k]
+		if sh == nil {
+			sh = &census.StrategyHistogram{}
+		}
 		fmt.Fprintf(tw, "%s\t%d", k, c.ByStrategy[k])
 		if c.Metrics {
-			fmt.Fprintf(tw, "\t%s", histogram(hist[k]))
+			fmt.Fprintf(tw, "\t%s", histogram(sh.Dilation))
 		}
 		if c.Congestion {
-			fmt.Fprintf(tw, "\t%d", peak[k])
+			fmt.Fprintf(tw, "\t%d\t%s", peak[k], histogram(sh.Congestion))
 		}
 		if c.Placed {
 			fmt.Fprintf(tw, "\t%d", wins[k])
@@ -236,12 +358,16 @@ func histogram(h map[int]int) string {
 	return strings.Join(parts, " ")
 }
 
-func save(c *census.Census, path string) {
-	if path == "" {
-		return
+func save(c *census.Census, jsonPath, ndjsonPath string) {
+	if jsonPath != "" {
+		if err := c.WriteFile(jsonPath); err != nil {
+			fatalf("sweep: %v", err)
+		}
 	}
-	if err := c.WriteFile(path); err != nil {
-		fatalf("sweep: %v", err)
+	if ndjsonPath != "" {
+		if err := c.WriteStreamFile(ndjsonPath); err != nil {
+			fatalf("sweep: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,285 @@
+// Command sweepd is the distributed sweep driver: it runs one coverage
+// census as a fleet of shard workers (internal/driver), streams every
+// finished pair into an NDJSON journal, retries failed or straggling
+// shards, and writes a final merged artifact that is byte-identical to
+// what an unsharded `sweep -json` run would have produced.
+//
+// Workers come in two forms. By default shards run in-process on the
+// local worker pool. With -sweep pointing at a sweep binary, each
+// shard attempt execs `sweep -worker` and folds the NDJSON stream from
+// its stdout — the production form; a multi-machine transport would
+// exec the same binary remotely and pipe the same bytes.
+//
+// Usage:
+//
+//	sweepd -n 360 -maxdim 4 -shards 16 -workers 4 -out full.json
+//	sweepd -n 360 -shards 16 -sweep ./sweep -out full.json
+//	sweepd -n 360 -shards 16 -sweep ./sweep -out full.json -resume
+//
+// The journal (-journal, default <out>.journal) is the crash-safety
+// artifact: a stream header line plus one record per finished pair,
+// appended and flushed as results arrive in completion order. If a run
+// dies, rerunning with -resume scans the journal, skips every pair
+// already present, and completes the census; the final artifact is
+// byte-identical either way. Subprocess workers are handed the journal
+// as their own -resume, so even a retried shard never re-evaluates
+// pairs that reached the journal.
+//
+// Exit codes: 0 = success; 1 = the merged census contains verification
+// failures (a library bug, mirroring sweep); 2 = usage, configuration
+// or driver errors (a shard exhausting its retries lands here); 3 =
+// the -halt-after testing hook stopped the run on purpose.
+//
+// -inject-fail and -halt-after exist for the CI fault smoke: the first
+// makes the first N subprocess attempts crash mid-stream (via sweep's
+// -worker-abort hook), the second kills the driver after N shards so
+// the smoke can exercise -resume against a genuinely partial journal.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+	"torusmesh/internal/driver"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/par"
+)
+
+// Exit codes; 0-2 mirror cmd/sweep.
+const (
+	exitVerifyFailures = 1
+	exitUsage          = 2
+	exitHalted         = 3
+)
+
+func main() {
+	n := flag.Int("n", 24, "graph size (number of nodes)")
+	maxDim := flag.Int("maxdim", 0, "cap on shape dimension (0 = unlimited)")
+	shards := flag.Int("shards", 0, "how many stripes the pair space splits into (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent shard attempts (0 = min(shards, GOMAXPROCS))")
+	retries := flag.Int("retries", 0, "per-shard retry budget after the first attempt (0 = default, negative = none)")
+	stragglerFactor := flag.Float64("straggler-factor", 0,
+		"re-issue attempts running past this multiple of the median shard wall time (0 = off)")
+	metrics := flag.Bool("metrics", true, "measure dilation and average dilation per pair")
+	congestion := flag.Bool("congestion", false, "measure netsim peak-link congestion per pair")
+	threshold := flag.Int("threshold", embed.MaterializeThreshold(),
+		"guest-size cutoff for kernel table materialization (<= 0 disables)")
+	out := flag.String("out", "", "write the final merged census artifact (JSON document) to this file")
+	journal := flag.String("journal", "", "NDJSON journal path (default <out>.journal; empty without -out disables the journal)")
+	resume := flag.Bool("resume", false, "scan the journal and skip pairs already present")
+	sweepBin := flag.String("sweep", "", "run shards as subprocess workers exec'ing this sweep binary (empty = in-process)")
+	injectFail := flag.Int("inject-fail", 0, "testing hook: crash the first N subprocess worker attempts mid-stream")
+	haltAfter := flag.Int("halt-after", 0, "testing hook: stop (exit 3) once this many shards have completed")
+	timing := flag.Bool("time", false, "report the wall time of the run")
+	flag.Parse()
+
+	if *n < 2 {
+		fatalf("sweepd: -n must be at least 2")
+	}
+	if *injectFail > 0 && *sweepBin == "" {
+		fatalf("sweepd: -inject-fail requires subprocess workers (-sweep)")
+	}
+	// Resolve the fleet geometry here so the summary reports what
+	// actually ran, not the flag defaults.
+	if *shards == 0 {
+		*shards = par.Workers()
+	}
+	if *workers == 0 {
+		*workers = min(*shards, par.Workers())
+	}
+	embed.SetMaterializeThreshold(*threshold)
+	template := census.Config{
+		Size:       *n,
+		MaxDim:     *maxDim,
+		Shapes:     catalog.CanonicalShapesOfSize(*n, *maxDim),
+		Metrics:    *metrics,
+		Congestion: *congestion,
+		Embed:      core.Embed,
+	}
+	header := template.StreamHeader()
+
+	journalPath := *journal
+	if journalPath == "" && *out != "" {
+		journalPath = *out + ".journal"
+	}
+	if *resume && journalPath == "" {
+		fatalf("sweepd: -resume needs a journal (-journal, or -out to derive one)")
+	}
+
+	var resumeRecs []census.PairResult
+	var journalW *census.StreamWriter
+	var journalFile *os.File
+	if journalPath != "" {
+		if *resume {
+			// Repair, not just scan: a run killed mid-write leaves a
+			// partial last line, and appending onto it would glue the
+			// next record into one undecodable line, hiding everything
+			// after it from every future scan.
+			h, recs, err := census.RepairStreamFile(journalPath)
+			if err != nil {
+				fatalf("sweepd: -resume: %v", err)
+			}
+			if err := h.SameCensus(header); err != nil {
+				fatalf("sweepd: journal %s does not match this sweep: %v", journalPath, err)
+			}
+			resumeRecs = recs
+			f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatalf("sweepd: %v", err)
+			}
+			journalFile, journalW = f, census.NewStreamAppender(f)
+		} else {
+			f, err := os.Create(journalPath)
+			if err != nil {
+				fatalf("sweepd: %v", err)
+			}
+			sw, err := census.NewStreamWriter(f, header)
+			if err != nil {
+				fatalf("sweepd: %v", err)
+			}
+			journalFile, journalW = f, sw
+		}
+	}
+
+	var worker driver.Worker
+	if *sweepBin != "" {
+		args := []string{
+			"-n", fmt.Sprint(*n),
+			"-maxdim", fmt.Sprint(*maxDim),
+			fmt.Sprintf("-metrics=%t", *metrics),
+			fmt.Sprintf("-congestion=%t", *congestion),
+			"-threshold", fmt.Sprint(*threshold),
+		}
+		if journalPath != "" {
+			// Workers scan the live journal themselves, so a retried
+			// shard skips every pair that already made it to disk.
+			args = append(args, "-resume", journalPath)
+		}
+		sub := driver.Subprocess{Bin: *sweepBin, Args: args}
+		if *injectFail > 0 {
+			fi := &failInjector{base: sub}
+			fi.remaining.Store(int64(*injectFail))
+			worker = fi
+		} else {
+			worker = sub
+		}
+	} else {
+		worker = driver.InProcess{}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var halted atomic.Bool
+	var journalErr atomic.Value // error from the journal hook
+	plan := driver.Plan{
+		Config:          template,
+		Shards:          *shards,
+		Workers:         *workers,
+		Worker:          worker,
+		Retries:         *retries,
+		StragglerFactor: *stragglerFactor,
+		Resume:          resumeRecs,
+		OnResult: func(r *census.PairResult) {
+			if journalW == nil || journalErr.Load() != nil {
+				return
+			}
+			if err := journalW.Write(r); err != nil {
+				journalErr.Store(err)
+				cancel()
+			}
+		},
+		OnShardDone: func(shard, done, total int) {
+			fmt.Fprintf(os.Stderr, "sweepd: shard %d complete (%d/%d)\n", shard, done, total)
+			if *haltAfter > 0 && done >= *haltAfter && !halted.Swap(true) {
+				cancel()
+			}
+		},
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+		},
+	}
+	d, err := driver.New(plan)
+	if err != nil {
+		fatalf("sweepd: %v", err)
+	}
+	c, err := d.Run(ctx)
+	if journalFile != nil {
+		if cerr := journalFile.Close(); cerr != nil && err == nil {
+			fatalf("sweepd: close journal: %v", cerr)
+		}
+	}
+	if jerr, _ := journalErr.Load().(error); jerr != nil {
+		fatalf("sweepd: journal write: %v", jerr)
+	}
+	if err != nil {
+		if halted.Load() {
+			fmt.Fprintf(os.Stderr, "sweepd: halted by -halt-after %d (testing hook); journal %s holds the partial census, rerun with -resume\n",
+				*haltAfter, journalPath)
+			os.Exit(exitHalted)
+		}
+		fatalf("sweepd: %v", err)
+	}
+
+	if *out != "" {
+		if err := c.WriteFile(*out); err != nil {
+			fatalf("sweepd: %v", err)
+		}
+	}
+	summarize(c, *shards, *workers)
+	if *timing {
+		fmt.Printf("swept in %s\n", c.Elapsed)
+	}
+	if c.VerifyFailures > 0 {
+		os.Exit(exitVerifyFailures)
+	}
+}
+
+// summarize prints the merged census's coverage summary: sweepd is an
+// orchestrator, so the full per-strategy table stays with `sweep`
+// (point it at the -out artifact via -merge for the long report).
+func summarize(c *census.Census, shards, workers int) {
+	fmt.Printf("size %d: %d pairs over %d shard(s), %d concurrent worker(s)\n",
+		c.Size, c.Pairs, shards, workers)
+	pct := 0.0
+	if c.Pairs > 0 {
+		pct = 100 * float64(c.Embeddable) / float64(c.Pairs)
+	}
+	fmt.Printf("embeddable: %d (%.1f%%), no construction applies: %d, verification failures: %d\n",
+		c.Embeddable, pct, c.ConstructFailures, c.VerifyFailures)
+	keys := make([]string, 0, len(c.ByStrategy))
+	for k := range c.ByStrategy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-20s %d\n", k, c.ByStrategy[k])
+	}
+}
+
+// failInjector crashes the first N subprocess attempts mid-stream by
+// handing them sweep's -worker-abort hook — the CI stand-in for a
+// worker machine dying partway through its shard.
+type failInjector struct {
+	base      driver.Subprocess
+	remaining atomic.Int64
+}
+
+func (f *failInjector) Run(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+	w := f.base
+	if f.remaining.Add(-1) >= 0 {
+		w.Args = append(append([]string(nil), w.Args...), "-worker-abort", "2")
+	}
+	return w.Run(ctx, job, emit)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(exitUsage)
+}

@@ -1,0 +1,81 @@
+package torusmesh
+
+import (
+	"context"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+	"torusmesh/internal/driver"
+	"torusmesh/internal/par"
+)
+
+// Census is the mergeable, serializable outcome of a coverage census:
+// one PairResult per ordered (shape, kind) pair of a size, plus the
+// derived aggregates and per-strategy histograms. Its JSON encoding is
+// deterministic, so equal censuses produce equal bytes.
+type Census = census.Census
+
+// CensusPair is one census record: the strategy that carried the pair
+// and its measured costs, or the failure reason split by stage.
+type CensusPair = census.PairResult
+
+// DistributedOptions tunes RunDistributed. The zero value is a
+// sensible fleet: metrics on, one shard and one worker slot per CPU,
+// the driver's default retry policy.
+type DistributedOptions struct {
+	// MaxDim caps the shape dimension during enumeration (0 = unlimited).
+	MaxDim int
+	// Shards is how many stripes the pair space splits into
+	// (0 = GOMAXPROCS).
+	Shards int
+	// Workers is how many shard attempts run concurrently
+	// (0 = min(Shards, GOMAXPROCS)).
+	Workers int
+	// Retries is the per-shard retry budget after the first attempt
+	// (0 = the driver default, negative = none).
+	Retries int
+	// StragglerFactor re-issues attempts running past this multiple of
+	// the median shard wall time (0 = off).
+	StragglerFactor float64
+	// Congestion additionally routes every embeddable pair's edges
+	// through its host and records the peak directed-link load.
+	Congestion bool
+}
+
+// RunDistributed runs the full coverage census of one size under the
+// distributed sweep driver with in-process shard workers: the pair
+// space splits into shards, shards evaluate concurrently with retries
+// and optional straggler re-issue, and the folded result is
+// byte-identical to a single unsharded census — the library form of
+// `cmd/sweepd`. For multi-process fleets (subprocess workers streaming
+// NDJSON, journals, resume), use sweepd or internal/driver directly.
+func RunDistributed(ctx context.Context, size int, opts DistributedOptions) (*Census, error) {
+	workers := opts.Workers
+	shards := opts.Shards
+	if shards == 0 {
+		shards = par.Workers()
+	}
+	if workers == 0 {
+		workers = min(shards, par.Workers())
+	}
+	d, err := driver.New(driver.Plan{
+		Config: census.Config{
+			Size:       size,
+			MaxDim:     opts.MaxDim,
+			Shapes:     catalog.CanonicalShapesOfSize(size, opts.MaxDim),
+			Metrics:    true,
+			Congestion: opts.Congestion,
+			Embed:      core.Embed,
+		},
+		Shards:          shards,
+		Workers:         workers,
+		Worker:          driver.InProcess{},
+		Retries:         opts.Retries,
+		StragglerFactor: opts.StragglerFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(ctx)
+}

@@ -1,0 +1,66 @@
+package torusmesh_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"torusmesh"
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+)
+
+// TestRunDistributedMatchesUnsharded: the public veneer reproduces the
+// unsharded census engine's artifact bit for bit, for both metric-only
+// and congestion censuses.
+func TestRunDistributedMatchesUnsharded(t *testing.T) {
+	for _, congestion := range []bool{false, true} {
+		cfg := census.Config{
+			Size:       24,
+			Shapes:     catalog.CanonicalShapesOfSize(24, 0),
+			Metrics:    true,
+			Congestion: congestion,
+			Embed:      core.Embed,
+		}
+		want, err := census.Run(cfg)
+		if err != nil {
+			t.Fatalf("census.Run: %v", err)
+		}
+		got, err := torusmesh.RunDistributed(context.Background(), 24, torusmesh.DistributedOptions{
+			Shards:     5,
+			Workers:    3,
+			Congestion: congestion,
+		})
+		if err != nil {
+			t.Fatalf("RunDistributed: %v", err)
+		}
+		wb, err := want.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := got.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("congestion=%v: distributed census differs from unsharded census", congestion)
+		}
+		if got.Embeddable == 0 || got.Pairs != got.SpacePairs {
+			t.Errorf("congestion=%v: distributed census incomplete: %d/%d pairs, %d embeddable",
+				congestion, got.Pairs, got.SpacePairs, got.Embeddable)
+		}
+	}
+}
+
+// TestRunDistributedDefaults: the zero options resolve to a working
+// fleet.
+func TestRunDistributedDefaults(t *testing.T) {
+	c, err := torusmesh.RunDistributed(context.Background(), 12, torusmesh.DistributedOptions{})
+	if err != nil {
+		t.Fatalf("RunDistributed: %v", err)
+	}
+	if c.Pairs != c.SpacePairs || c.Pairs == 0 {
+		t.Errorf("default fleet census incomplete: %d/%d pairs", c.Pairs, c.SpacePairs)
+	}
+}

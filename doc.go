@@ -73,9 +73,11 @@
 // deterministic (fixed field order, sorted map keys, wall times
 // excluded): {version, size, maxdim, shard, shards, metrics,
 // congestion, placed, place_spec, shapes, space_pairs, pairs, embeddable,
-// construct_failures, verify_failures, by_strategy, results[]}, where
-// each results entry carries {index, guest, host, strategy, predicted,
-// dilation, avg_dilation, congestion, place, failure, failure_stage}.
+// construct_failures, verify_failures, by_strategy, histograms,
+// results[]}, where histograms maps each strategy to its per-dilation
+// and per-peak-congestion pair counts and each results entry carries
+// {index, guest, host, strategy, predicted, dilation, avg_dilation,
+// congestion, place, failure, failure_stage}.
 // census.Merge validates size/maxdim/version/flag compatibility,
 // demands each shard exactly once, and reproduces the unsharded census
 // bit for bit — the invariant CI re-checks on every push. The schema
@@ -100,6 +102,21 @@
 // baseline; by default it is constrained to dilate no worse
 // (PlacementOptions.CapDilation). Sweeps can record best-found
 // placements per pair with `sweep -place`.
+//
+// # The distributed driver
+//
+// Above the census sits the distributed sweep driver (internal/driver,
+// CLI: cmd/sweepd): one census runs as a fleet of shard workers —
+// in-process for the library form (RunDistributed), or subprocesses
+// exec'ing `sweep -worker`, each streaming its shard as NDJSON (a
+// versioned header line, then one result line per finished pair). The
+// driver folds the streams incrementally with census.Merge semantics,
+// validates records structurally as they arrive, retries failed and
+// short attempts with exponential backoff, re-issues stragglers, and
+// journals every folded record so a killed run resumes (-resume) by
+// skipping the pairs already on disk. Whatever the completion order,
+// retry history, or resume split, the final artifact is byte-identical
+// to a single unsharded run.
 //
 // All public entry points are thin veneers over the internal packages;
 // see ARCHITECTURE.md for the engine and module map, README.md for CLI

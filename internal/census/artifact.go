@@ -28,7 +28,7 @@ func intList(xs []int) string {
 
 // ArtifactVersion is the schema version stamped into every artifact.
 // Decode rejects artifacts from other versions. The serialized form is
-// pinned by the golden-file test (testdata/census-v2.golden.json): any
+// pinned by the golden-file test (testdata/census-v3.golden.json): any
 // change to it must bump this constant and regenerate the golden with
 // `go test ./internal/census -run Golden -update`.
 //
@@ -38,7 +38,11 @@ func intList(xs []int) string {
 //	2: placement search columns — top-level "placed" flag and
 //	   "place_spec" settings string, per-pair "place" summary {desc,
 //	   strategy, dilation, peak, avg_link, score, error}.
-const ArtifactVersion = 2
+//	3: per-strategy "histograms" block (strategy -> {"dilation",
+//	   "congestion"} cost-count maps) on metrics/congestion censuses;
+//	   the NDJSON stream form (stream.go) carries the same version in
+//	   its header line.
+const ArtifactVersion = 3
 
 // Encode writes the census as deterministic, human-readable JSON.
 func Encode(w io.Writer, c *Census) error {

@@ -26,8 +26,10 @@
 package census
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"torusmesh/internal/embed"
@@ -113,7 +115,29 @@ type Config struct {
 	// Strategy is the legacy strategy-only evaluator; it implies
 	// Metrics == false and Congestion == false.
 	Strategy StrategyFunc
+	// Skip, when set, drops pairs it reports as already evaluated
+	// before they are scheduled — the resume filter. A skipping run
+	// covers only part of its stripe, so its census is not a complete
+	// shard artifact; it exists to be folded into a partial artifact by
+	// the distributed driver or a resumed sweep.
+	Skip func(pair int) bool
+	// OnResult, when set, is called once per evaluated pair as soon as
+	// its result is final — in completion order, not index order, but
+	// never concurrently (Run serializes the calls). This is how
+	// workers stream NDJSON records while the census is still running.
+	// The callback must not retain the pointer past its return.
+	OnResult func(*PairResult)
+	// Interrupt, when set, is polled between pairs on every worker;
+	// once it returns true, no further pairs are evaluated and Run
+	// returns ErrInterrupted instead of a partial census. This is how
+	// a cancelled context reaches a run already in flight (the
+	// distributed driver's in-process workers poll ctx.Err here).
+	Interrupt func() bool
 }
+
+// ErrInterrupted is returned by Run when Config.Interrupt stopped the
+// evaluation early.
+var ErrInterrupted = errors.New("census: run interrupted")
 
 // Failure stages of a PairResult.
 const (
@@ -180,7 +204,13 @@ type Census struct {
 	ConstructFailures int            `json:"construct_failures"`
 	VerifyFailures    int            `json:"verify_failures"`
 	ByStrategy        map[string]int `json:"by_strategy"`
-	Results           []PairResult   `json:"results"`
+	// Histograms is the per-strategy cost-distribution block: for each
+	// strategy key, how many embeddable pairs it carried at each
+	// measured dilation (metrics censuses) and at each peak link load
+	// (congestion censuses). Derived from Results like the other
+	// aggregates; absent from strategy-only censuses.
+	Histograms map[string]*StrategyHistogram `json:"histograms,omitempty"`
+	Results    []PairResult                  `json:"results"`
 	// Elapsed is the run's wall time, excluded from the artifact for
 	// the same determinism reason as PairResult.Wall.
 	Elapsed time.Duration `json:"-"`
@@ -199,8 +229,22 @@ func StrategyKey(strategy string) string {
 	return strategy
 }
 
+// StrategyHistogram is one strategy's entry in the artifact's
+// histogram block. Map keys are the measured cost values; map values
+// count the embeddable pairs the strategy carried at that cost.
+type StrategyHistogram struct {
+	Dilation   map[int]int `json:"dilation,omitempty"`
+	Congestion map[int]int `json:"congestion,omitempty"`
+}
+
 // kinds is the fixed kind order of the pair space enumeration.
 var kinds = [2]grid.Kind{grid.Mesh, grid.Torus}
+
+// Specs returns the (shape, kind) spec list of the config's pair space
+// in enumeration order: pair i embeds guest Specs[i/n] into host
+// Specs[i%n] where n = len(Specs). The distributed driver validates
+// streamed records against this enumeration.
+func (cfg *Config) Specs() []grid.Spec { return cfg.specs() }
 
 // specs expands the shape list into the (shape, kind) spec list: each
 // shape contributes its mesh then its torus.
@@ -254,16 +298,33 @@ func Run(cfg Config) (*Census, error) {
 	space := len(specs) * len(specs)
 	indices := make([]int, 0, (space+cfg.Shards-1)/cfg.Shards)
 	for i := cfg.Shard; i < space; i += cfg.Shards {
+		if cfg.Skip != nil && cfg.Skip(i) {
+			continue
+		}
 		indices = append(indices, i)
 	}
 	ev := newEvaluator(&cfg, specs, indices)
 	results := make([]PairResult, len(indices))
+	var emitMu sync.Mutex
+	var interrupted atomic.Bool
 	par.Blocks(len(indices), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
+			if cfg.Interrupt != nil && (interrupted.Load() || cfg.Interrupt()) {
+				interrupted.Store(true)
+				return
+			}
 			i := indices[k]
 			results[k] = ev.pair(i, specs[i/len(specs)], specs[i%len(specs)])
+			if cfg.OnResult != nil {
+				emitMu.Lock()
+				cfg.OnResult(&results[k])
+				emitMu.Unlock()
+			}
 		}
 	})
+	if interrupted.Load() {
+		return nil, ErrInterrupted
+	}
 	c := &Census{
 		Version:    ArtifactVersion,
 		Size:       cfg.Size,
@@ -291,7 +352,8 @@ func shapeStrings(shapes []grid.Shape) []string {
 	return out
 }
 
-// recount rebuilds every aggregate field from Results.
+// recount rebuilds every aggregate field from Results, including the
+// histogram block of metrics and congestion censuses.
 func (c *Census) recount() {
 	c.Pairs = len(c.Results)
 	c.Embeddable, c.ConstructFailures, c.VerifyFailures = 0, 0, 0
@@ -307,6 +369,30 @@ func (c *Census) recount() {
 			c.ByStrategy[StrategyKey(c.Results[i].Strategy)]++
 		}
 	}
+	c.Histograms = nil
+	if !c.Metrics && !c.Congestion {
+		return
+	}
+	c.Histograms = map[string]*StrategyHistogram{}
+	c.forStrategy(func(key string, r *PairResult) {
+		h := c.Histograms[key]
+		if h == nil {
+			h = &StrategyHistogram{}
+			c.Histograms[key] = h
+		}
+		if c.Metrics {
+			if h.Dilation == nil {
+				h.Dilation = map[int]int{}
+			}
+			h.Dilation[r.Dilation]++
+		}
+		if c.Congestion {
+			if h.Congestion == nil {
+				h.Congestion = map[int]int{}
+			}
+			h.Congestion[r.Congestion]++
+		}
+	})
 }
 
 // forStrategy visits every embeddable result under its strategy key —

@@ -1,0 +1,426 @@
+package census_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"torusmesh/internal/census"
+)
+
+// streamBytes renders a census in NDJSON stream form.
+func streamBytes(t *testing.T, c *census.Census) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := census.WriteStream(&buf, c); err != nil {
+		t.Fatalf("write stream: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamRoundTrip: a census survives the NDJSON stream byte-for-
+// byte (stream bytes are deterministic, and reading them back yields a
+// census whose document encoding matches the original's).
+func TestStreamRoundTrip(t *testing.T) {
+	cfg := richConfig(24, 0)
+	cfg.Congestion = true
+	c := mustRun(t, cfg)
+	data := streamBytes(t, c)
+	if !bytes.HasPrefix(data, []byte(`{"stream":`)) {
+		t.Errorf("stream does not start with the sniffable header prefix: %.40q", data)
+	}
+	if again := streamBytes(t, c); !bytes.Equal(data, again) {
+		t.Error("stream encoding is not deterministic")
+	}
+	back, err := census.ReadStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, back)) {
+		t.Error("census changed across a stream round trip")
+	}
+	// One header line plus one line per pair.
+	if lines := bytes.Count(data, []byte("\n")); lines != 1+len(c.Results) {
+		t.Errorf("stream has %d lines, want %d", lines, 1+len(c.Results))
+	}
+}
+
+// TestStreamShardedRoundTrip: shard censuses stream too, and merging
+// streamed-and-reread shards reproduces the unsharded census.
+func TestStreamShardedRoundTrip(t *testing.T) {
+	cfg := richConfig(24, 0)
+	full := mustRun(t, cfg)
+	parts := make([]*census.Census, 3)
+	for s := range parts {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, 3
+		shard := mustRun(t, scfg)
+		back, err := census.ReadStream(bytes.NewReader(streamBytes(t, shard)))
+		if err != nil {
+			t.Fatalf("shard %d: read stream: %v", s, err)
+		}
+		parts[s] = back
+	}
+	merged, err := census.Merge(parts...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(encode(t, full), encode(t, merged)) {
+		t.Error("merge of streamed shards differs from the unsharded census")
+	}
+}
+
+// TestStreamTruncation: the strict reader rejects a cut-off stream; the
+// tolerant scanner returns exactly the intact prefix records.
+func TestStreamTruncation(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	data := streamBytes(t, c)
+
+	// Cut in the middle of the final record.
+	cut := data[:len(data)-7]
+	if _, err := census.ReadStream(bytes.NewReader(cut)); err == nil {
+		t.Error("strict read of a truncated stream succeeded")
+	}
+	h, recs, err := census.ScanStream(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if h.Size != c.Size || h.SpacePairs != c.SpacePairs {
+		t.Errorf("scanned header %+v does not match census", h)
+	}
+	if len(recs) != len(c.Results)-1 {
+		t.Errorf("scan recovered %d records, want %d", len(recs), len(c.Results)-1)
+	}
+	for i, r := range recs {
+		if r.Index != c.Results[i].Index {
+			t.Errorf("record %d has index %d, want %d", i, r.Index, c.Results[i].Index)
+		}
+	}
+
+	// Garbage mid-stream: the scan stops before it and keeps the rest
+	// for re-evaluation.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	garbled := bytes.Join([][]byte{lines[0], lines[1], []byte("{garbage\n")}, nil)
+	garbled = append(garbled, bytes.Join(lines[2:], nil)...)
+	_, recs, err = census.ScanStream(bytes.NewReader(garbled))
+	if err != nil {
+		t.Fatalf("scan of garbled stream: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("scan recovered %d records before the garbage, want 1", len(recs))
+	}
+}
+
+// TestRepairStreamFile: repairing a stream with a damaged tail
+// truncates exactly to the last intact record, so appended records form
+// a well-formed stream again — the resume-after-crash journal cycle.
+func TestRepairStreamFile(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	data := streamBytes(t, c)
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	keep := 5
+	// Header + keep records + a torn partial line.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	partial := append(bytes.Join(lines[:1+keep], nil), lines[1+keep][:len(lines[1+keep])/2]...)
+	if err := os.WriteFile(path, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, recs, err := census.RepairStreamFile(path)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := h.SameCensus(c.StreamHeader()); err != nil {
+		t.Errorf("repaired header differs: %v", err)
+	}
+	if len(recs) != keep {
+		t.Fatalf("repair recovered %d records, want %d", len(recs), keep)
+	}
+	// Append the remaining records as a resumed run would.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := census.NewStreamAppender(f)
+	for i := keep; i < len(c.Results); i++ {
+		if err := app.Write(&c.Results[i]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The repaired-then-appended journal is a complete, intact stream.
+	back, err := census.ReadFileAny(path)
+	if err != nil {
+		t.Fatalf("read repaired journal: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, back)) {
+		t.Error("repaired journal does not round-trip the census")
+	}
+
+	// An undamaged file is left byte-identical.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, recs, err := census.RepairStreamFile(path); err != nil || len(recs) != len(c.Results) {
+		t.Fatalf("repair of intact stream: %d records, err %v", len(recs), err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, after) {
+		t.Error("repair modified an intact stream")
+	}
+}
+
+// TestRunInterrupt: the Interrupt hook stops a run between pairs and
+// surfaces ErrInterrupted instead of a partial census.
+func TestRunInterrupt(t *testing.T) {
+	cfg := richConfig(24, 0)
+	var evaluated atomic.Int64
+	cfg.OnResult = func(*census.PairResult) { evaluated.Add(1) }
+	cfg.Interrupt = func() bool { return evaluated.Load() >= 3 }
+	_, err := census.Run(cfg)
+	if err == nil {
+		t.Fatal("interrupted run returned a census")
+	}
+	if !errors.Is(err, census.ErrInterrupted) {
+		t.Errorf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if evaluated.Load() >= 64 {
+		t.Errorf("interrupt did not stop the run early (%d pairs evaluated)", evaluated.Load())
+	}
+
+	// A hook that never fires changes nothing.
+	clean := richConfig(24, 0)
+	clean.Interrupt = func() bool { return false }
+	c := mustRun(t, clean)
+	ref := mustRun(t, richConfig(24, 0))
+	if !bytes.Equal(encode(t, c), encode(t, ref)) {
+		t.Error("a non-firing Interrupt hook changed the census")
+	}
+}
+
+// TestStreamRejectsBadHeaders covers framing and schema version checks.
+func TestStreamRejectsBadHeaders(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"empty", ""},
+		{"no newline after header", `{"stream":1,"version":3,"shards":1}`},
+		{"wrong stream version", "{\"stream\":99,\"version\":3,\"shards\":1}\n"},
+		{"wrong artifact version", "{\"stream\":1,\"version\":1,\"shards\":1}\n"},
+		{"invalid shard", "{\"stream\":1,\"version\":3,\"shard\":4,\"shards\":2}\n"},
+		{"not json", "hello\n"},
+	}
+	for _, tc := range bad {
+		if _, err := census.NewStreamReader(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: reader accepted %q", tc.name, tc.doc)
+		}
+	}
+}
+
+// TestStreamAppenderResume: the journal pattern — write a header and
+// some records, reopen with an appender for the rest — scans back as
+// one complete stream.
+func TestStreamAppenderResume(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	var buf bytes.Buffer
+	sw, err := census.NewStreamWriter(&buf, c.StreamHeader())
+	if err != nil {
+		t.Fatalf("stream writer: %v", err)
+	}
+	half := len(c.Results) / 2
+	for i := 0; i < half; i++ {
+		if err := sw.Write(&c.Results[i]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	app := census.NewStreamAppender(&buf)
+	for i := half; i < len(c.Results); i++ {
+		if err := app.Write(&c.Results[i]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	back, err := census.ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, back)) {
+		t.Error("appended stream does not round-trip the census")
+	}
+}
+
+// TestStreamFileAndReadFileAny: both artifact forms load through
+// ReadFileAny, and format sniffing picks the right decoder.
+func TestStreamFileAndReadFileAny(t *testing.T) {
+	c := mustRun(t, richConfig(16, 0))
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "census.json")
+	streamPath := filepath.Join(dir, "census.ndjson")
+	if err := c.WriteFile(docPath); err != nil {
+		t.Fatalf("write document: %v", err)
+	}
+	if err := c.WriteStreamFile(streamPath); err != nil {
+		t.Fatalf("write stream: %v", err)
+	}
+	for _, path := range []string{docPath, streamPath} {
+		back, err := census.ReadFileAny(path)
+		if err != nil {
+			t.Fatalf("ReadFileAny(%s): %v", path, err)
+		}
+		if !bytes.Equal(encode(t, c), encode(t, back)) {
+			t.Errorf("%s: artifact changed across ReadFileAny", path)
+		}
+	}
+	if _, err := census.ReadFileAny(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("ReadFileAny of a missing file succeeded")
+	}
+
+	// ScanStreamFile over the stream form recovers everything.
+	h, recs, err := census.ScanStreamFile(streamPath)
+	if err != nil {
+		t.Fatalf("ScanStreamFile: %v", err)
+	}
+	if err := h.SameCensus(c.StreamHeader()); err != nil {
+		t.Errorf("scanned header differs: %v", err)
+	}
+	if len(recs) != len(c.Results) {
+		t.Errorf("scan recovered %d records, want %d", len(recs), len(c.Results))
+	}
+}
+
+// TestSameCensus: header comparison ignores the shard labels but
+// rejects every census-defining axis.
+func TestSameCensus(t *testing.T) {
+	cfg := richConfig(24, 0)
+	full := cfg.StreamHeader()
+	shard := cfg
+	shard.Shard, shard.Shards = 1, 3
+	if err := shard.StreamHeader().SameCensus(full); err != nil {
+		t.Errorf("shard labels should not matter: %v", err)
+	}
+	other := richConfig(36, 0)
+	if err := other.StreamHeader().SameCensus(full); err == nil {
+		t.Error("different sizes compared equal")
+	}
+	nometrics := cfg
+	nometrics.Metrics = false
+	if err := nometrics.StreamHeader().SameCensus(full); err == nil {
+		t.Error("different metrics flags compared equal")
+	}
+}
+
+// TestRunSkipAndOnResult: the resume filter drops exactly the reported
+// pairs, and the streaming hook sees every evaluated pair exactly once.
+func TestRunSkipAndOnResult(t *testing.T) {
+	cfg := richConfig(24, 0)
+	full := mustRun(t, cfg)
+	seen := map[int]int{}
+	cfg.Skip = func(i int) bool { return i%3 == 0 }
+	cfg.OnResult = func(r *census.PairResult) { seen[r.Index]++ }
+	partial := mustRun(t, cfg)
+	wantPairs := 0
+	for i := 0; i < full.SpacePairs; i++ {
+		if i%3 != 0 {
+			wantPairs++
+		}
+	}
+	if partial.Pairs != wantPairs {
+		t.Errorf("skipping census has %d pairs, want %d", partial.Pairs, wantPairs)
+	}
+	if len(seen) != wantPairs {
+		t.Errorf("OnResult saw %d pairs, want %d", len(seen), wantPairs)
+	}
+	for idx, n := range seen {
+		if idx%3 == 0 {
+			t.Errorf("skipped pair %d was evaluated", idx)
+		}
+		if n != 1 {
+			t.Errorf("pair %d hit OnResult %d times", idx, n)
+		}
+	}
+	// The evaluated pairs carry the same results as the full run.
+	byIndex := map[int]census.PairResult{}
+	for _, r := range full.Results {
+		byIndex[r.Index] = r
+	}
+	for _, r := range partial.Results {
+		want := byIndex[r.Index]
+		want.Wall = r.Wall
+		if r != want {
+			t.Errorf("pair %d differs between full and skipping runs", r.Index)
+		}
+	}
+}
+
+// TestHistogramBlock: the artifact's histogram block exists exactly for
+// metric censuses, tallies every embeddable pair, and agrees with the
+// derived DilationHistogram/PeakCongestion views.
+func TestHistogramBlock(t *testing.T) {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	c := mustRun(t, cfg)
+	if len(c.Histograms) == 0 {
+		t.Fatal("metrics census has no histogram block")
+	}
+	total := 0
+	for key, h := range c.Histograms {
+		dil, con := 0, 0
+		for d, n := range h.Dilation {
+			dil += n
+			if c.DilationHistogram()[key][d] != n {
+				t.Errorf("%s: dilation %d count %d disagrees with the derived histogram", key, d, n)
+			}
+		}
+		for _, n := range h.Congestion {
+			con += n
+		}
+		if dil != con {
+			t.Errorf("%s: dilation block tallies %d pairs, congestion block %d", key, dil, con)
+		}
+		if dil != c.ByStrategy[key] {
+			t.Errorf("%s: histogram tallies %d pairs, ByStrategy says %d", key, dil, c.ByStrategy[key])
+		}
+		peak := 0
+		for load := range h.Congestion {
+			if load > peak {
+				peak = load
+			}
+		}
+		if peak != c.PeakCongestion()[key] {
+			t.Errorf("%s: histogram peak %d, PeakCongestion %d", key, peak, c.PeakCongestion()[key])
+		}
+		total += dil
+	}
+	if total != c.Embeddable {
+		t.Errorf("histogram block covers %d pairs, want %d embeddable", total, c.Embeddable)
+	}
+
+	// The block travels through the JSON artifact.
+	back, err := census.Decode(bytes.NewReader(encode(t, c)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back.Histograms) != len(c.Histograms) {
+		t.Errorf("decoded artifact has %d histogram strategies, want %d", len(back.Histograms), len(c.Histograms))
+	}
+
+	// Metrics-off censuses carry no block.
+	plain := richConfig(16, 0)
+	plain.Metrics = false
+	pc := mustRun(t, plain)
+	if pc.Histograms != nil {
+		t.Error("metrics-off census has a histogram block")
+	}
+	var buf bytes.Buffer
+	if err := census.Encode(&buf, pc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "histograms") {
+		t.Error("metrics-off artifact serializes a histogram block")
+	}
+}

@@ -1,0 +1,305 @@
+package driver_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+	"torusmesh/internal/driver"
+)
+
+// template is the standard metrics-on unsharded census config.
+func template(n, maxDim int) census.Config {
+	return census.Config{
+		Size:    n,
+		MaxDim:  maxDim,
+		Shapes:  catalog.CanonicalShapesOfSize(n, maxDim),
+		Metrics: true,
+		Embed:   core.Embed,
+	}
+}
+
+func unsharded(t *testing.T, cfg census.Config) *census.Census {
+	t.Helper()
+	c, err := census.Run(cfg)
+	if err != nil {
+		t.Fatalf("census.Run: %v", err)
+	}
+	return c
+}
+
+func encode(t *testing.T, c *census.Census) []byte {
+	t.Helper()
+	data, err := c.EncodeBytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+func run(t *testing.T, plan driver.Plan) *census.Census {
+	t.Helper()
+	d, err := driver.New(plan)
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	c, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	return c
+}
+
+// fastRetry makes test retries immediate.
+const fastRetry = time.Millisecond
+
+// TestDriverMatchesUnsharded is the core contract: for several shard
+// and worker-pool geometries, the driver's merged census is bit for bit
+// the unsharded census.Run artifact — including with congestion on.
+func TestDriverMatchesUnsharded(t *testing.T) {
+	cases := []struct {
+		n, maxDim, shards, workers int
+		congestion                 bool
+	}{
+		{24, 0, 1, 1, false},
+		{24, 0, 3, 2, false},
+		{36, 0, 5, 4, false},
+		{16, 0, 4, 4, true},
+		{60, 2, 7, 3, false},
+	}
+	for _, tc := range cases {
+		cfg := template(tc.n, tc.maxDim)
+		cfg.Congestion = tc.congestion
+		want := encode(t, unsharded(t, cfg))
+		got := encode(t, run(t, driver.Plan{
+			Config:  cfg,
+			Shards:  tc.shards,
+			Workers: tc.workers,
+			Worker:  driver.InProcess{},
+			Backoff: fastRetry,
+		}))
+		if !bytes.Equal(want, got) {
+			t.Errorf("n=%d shards=%d workers=%d: driver census differs from unsharded census",
+				tc.n, tc.shards, tc.workers)
+		}
+	}
+}
+
+// TestDriverMoreShardsThanPairs: shards with empty stripes complete
+// immediately and the artifact still matches.
+func TestDriverMoreShardsThanPairs(t *testing.T) {
+	cfg := template(4, 0)
+	want := encode(t, unsharded(t, cfg))
+	var mu sync.Mutex
+	doneShards := 0
+	got := encode(t, run(t, driver.Plan{
+		Config: cfg, Shards: 20, Workers: 3, Worker: driver.InProcess{}, Backoff: fastRetry,
+		OnShardDone: func(shard, done, total int) {
+			mu.Lock()
+			doneShards++
+			mu.Unlock()
+		},
+	}))
+	if !bytes.Equal(want, got) {
+		t.Error("driver census differs from unsharded census")
+	}
+	if doneShards != 20 {
+		t.Errorf("OnShardDone fired %d times, want 20", doneShards)
+	}
+}
+
+// TestDriverResume: seeding the fold with a prefix of the results (as a
+// resumed run would after scanning a partial journal) still reproduces
+// the unsharded artifact, evaluates only the missing pairs, and does
+// not replay resumed records through OnResult.
+func TestDriverResume(t *testing.T) {
+	cfg := template(24, 0)
+	full := unsharded(t, cfg)
+	want := encode(t, full)
+	half := append([]census.PairResult(nil), full.Results[:len(full.Results)/2]...)
+	var mu sync.Mutex
+	emitted := map[int]int{}
+	got := encode(t, run(t, driver.Plan{
+		Config: cfg, Shards: 4, Workers: 2, Worker: driver.InProcess{},
+		Backoff: fastRetry,
+		Resume:  half,
+		OnResult: func(r *census.PairResult) {
+			mu.Lock()
+			emitted[r.Index]++
+			mu.Unlock()
+		},
+	}))
+	if !bytes.Equal(want, got) {
+		t.Error("resumed driver census differs from unsharded census")
+	}
+	if len(emitted) != len(full.Results)-len(half) {
+		t.Errorf("OnResult fired for %d pairs, want the %d missing ones",
+			len(emitted), len(full.Results)-len(half))
+	}
+	for idx, count := range emitted {
+		if idx < len(half) {
+			t.Errorf("OnResult replayed resumed pair %d", idx)
+		}
+		if count != 1 {
+			t.Errorf("OnResult fired %d times for pair %d", count, idx)
+		}
+	}
+}
+
+// TestDriverResumeComplete: resuming from a complete artifact schedules
+// no work at all.
+func TestDriverResumeComplete(t *testing.T) {
+	cfg := template(24, 0)
+	full := unsharded(t, cfg)
+	calls := 0
+	got := encode(t, run(t, driver.Plan{
+		Config: cfg, Shards: 3, Workers: 2,
+		Worker: workerFunc(func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+			calls++
+			return nil
+		}),
+		Backoff: fastRetry,
+		Resume:  full.Results,
+	}))
+	if !bytes.Equal(encode(t, full), got) {
+		t.Error("fully resumed census differs from the original")
+	}
+	if calls != 0 {
+		t.Errorf("worker ran %d times on a fully resumed plan", calls)
+	}
+}
+
+// TestDriverRejectsBadResume: resume records from a different census
+// (wrong pair naming) abort the run instead of poisoning the artifact.
+func TestDriverRejectsBadResume(t *testing.T) {
+	cfg := template(24, 0)
+	full := unsharded(t, cfg)
+	bad := full.Results[3]
+	bad.Guest = "torus(999)"
+	d, err := driver.New(driver.Plan{
+		Config: cfg, Shards: 2, Worker: driver.InProcess{}, Backoff: fastRetry,
+		Resume: []census.PairResult{bad},
+	})
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	if _, err := d.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("corrupt resume record accepted (err=%v)", err)
+	}
+}
+
+// TestDriverJournalScanRoundTrip: the OnResult hook feeding a
+// StreamWriter produces a journal whose scan resumes to the full
+// census — the sweepd recovery loop in miniature.
+func TestDriverJournalRoundTrip(t *testing.T) {
+	cfg := template(24, 0)
+	want := encode(t, unsharded(t, cfg))
+
+	var journal bytes.Buffer
+	sw, err := census.NewStreamWriter(&journal, cfg.StreamHeader())
+	if err != nil {
+		t.Fatalf("stream writer: %v", err)
+	}
+	run(t, driver.Plan{
+		Config: cfg, Shards: 3, Workers: 2, Worker: driver.InProcess{}, Backoff: fastRetry,
+		OnResult: func(r *census.PairResult) {
+			if err := sw.Write(r); err != nil {
+				t.Errorf("journal write: %v", err)
+			}
+		},
+	})
+
+	// Truncate the journal mid-record (a killed run), scan what
+	// survives, and resume a fresh driver from it.
+	data := journal.Bytes()
+	cut := data[:len(data)-(len(data)/3)]
+	h, recs, err := census.ScanStream(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if err := h.SameCensus(cfg.StreamHeader()); err != nil {
+		t.Fatalf("journal header mismatch: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("scan of a partial journal recovered nothing")
+	}
+	got := encode(t, run(t, driver.Plan{
+		Config: cfg, Shards: 3, Workers: 2, Worker: driver.InProcess{}, Backoff: fastRetry,
+		Resume: recs,
+	}))
+	if !bytes.Equal(want, got) {
+		t.Error("resumed-from-journal census differs from unsharded census")
+	}
+}
+
+// TestNewValidation covers plan misconfiguration.
+func TestNewValidation(t *testing.T) {
+	cfg := template(12, 0)
+	sharded := cfg
+	sharded.Shards = 2
+	skipping := cfg
+	skipping.Skip = func(int) bool { return false }
+	hooked := cfg
+	hooked.OnResult = func(*census.PairResult) {}
+	bad := []struct {
+		name string
+		plan driver.Plan
+	}{
+		{"no worker", driver.Plan{Config: cfg, Shards: 2}},
+		{"sharded template", driver.Plan{Config: sharded, Shards: 2, Worker: driver.InProcess{}}},
+		{"template with Skip", driver.Plan{Config: skipping, Shards: 2, Worker: driver.InProcess{}}},
+		{"template with OnResult", driver.Plan{Config: hooked, Shards: 2, Worker: driver.InProcess{}}},
+		{"negative shards", driver.Plan{Config: cfg, Shards: -1, Worker: driver.InProcess{}}},
+		{"negative workers", driver.Plan{Config: cfg, Workers: -2, Worker: driver.InProcess{}}},
+	}
+	for _, tc := range bad {
+		if _, err := driver.New(tc.plan); err == nil {
+			t.Errorf("%s: New accepted the plan", tc.name)
+		}
+	}
+}
+
+// TestDriverContextCancel: a cancelled context aborts the run with its
+// error instead of hanging.
+func TestDriverContextCancel(t *testing.T) {
+	cfg := template(24, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := workerFunc(func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	d, err := driver.New(driver.Plan{Config: cfg, Shards: 2, Workers: 2, Worker: blocked, Backoff: fastRetry})
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	donec := make(chan error, 1)
+	go func() {
+		_, err := d.Run(ctx)
+		donec <- err
+	}()
+	select {
+	case err := <-donec:
+		if err == nil {
+			t.Error("cancelled run returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// workerFunc adapts a function to the Worker interface.
+type workerFunc func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error
+
+func (f workerFunc) Run(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+	return f(ctx, job, emit)
+}

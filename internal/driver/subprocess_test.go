@@ -1,0 +1,77 @@
+package driver_test
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"torusmesh/internal/driver"
+)
+
+// buildSweep compiles the real cmd/sweep binary for subprocess-worker
+// tests, skipping when no go toolchain is available.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on PATH; subprocess worker is covered by the CI smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	cmd := exec.Command(goBin, "build", "-o", bin, "torusmesh/cmd/sweep")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build cmd/sweep: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSubprocessWorker drives the driver over real `sweep -worker`
+// subprocesses and checks the merged artifact against the unsharded
+// engine — the production transport, minus the network.
+func TestSubprocessWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs binaries")
+	}
+	bin := buildSweep(t)
+	cfg := template(24, 0)
+	want := encode(t, unsharded(t, cfg))
+	got := encode(t, run(t, driver.Plan{
+		Config:  cfg,
+		Shards:  3,
+		Workers: 2,
+		Worker: driver.Subprocess{Bin: bin, Args: []string{
+			"-n", "24", "-maxdim", "0", "-metrics=true", "-congestion=false",
+		}},
+		Backoff: fastRetry,
+	}))
+	if !bytes.Equal(want, got) {
+		t.Error("subprocess-worker census differs from unsharded census")
+	}
+}
+
+// TestSubprocessWorkerMismatch: a worker invocation describing a
+// different census (wrong size) must fail its attempts — the stream
+// header check — and exhaust retries rather than corrupt the artifact.
+func TestSubprocessWorkerMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs binaries")
+	}
+	bin := buildSweep(t)
+	cfg := template(24, 0)
+	d, err := driver.New(driver.Plan{
+		Config:  cfg,
+		Shards:  2,
+		Workers: 2,
+		Worker:  driver.Subprocess{Bin: bin, Args: []string{"-n", "36"}},
+		Retries: -1,
+		Backoff: fastRetry,
+	})
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	if _, err := d.Run(context.Background()); err == nil {
+		t.Error("driver accepted workers sweeping a different census")
+	}
+}
