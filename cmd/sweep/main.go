@@ -76,6 +76,8 @@ func main() {
 	doPlace := flag.Bool("place", false, "run the congestion-aware placement search per embeddable pair (implies -congestion)")
 	placeBudget := flag.Int("place-budget", 32, "candidate budget of each per-pair placement search")
 	placeObjective := flag.String("place-objective", "1,1,0", "placement objective weights α,β,γ")
+	placeAnneal := flag.Bool("place-anneal", false, "refine each pair's placement front by seeded simulated annealing")
+	placeSeed := flag.Int64("place-seed", 0, "annealing RNG seed of the placement searches (0 = default)")
 	jsonOut := flag.String("json", "", "write the census artifact to this file")
 	ndjsonOut := flag.String("ndjson", "", "write the census as an NDJSON stream artifact to this file")
 	merge := flag.Bool("merge", false, "merge the shard artifacts (files, globs or directories) named as arguments instead of sweeping")
@@ -137,8 +139,15 @@ func main() {
 			Budget:      *placeBudget,
 			CapDilation: true,
 			Rotations:   true,
+			Anneal:      *placeAnneal,
+			Seed:        *placeSeed,
 			Strategies:  place.DefaultStrategies(),
 		})
+	} else if *placeAnneal || *placeSeed != 0 {
+		fatalf("sweep: -place-anneal and -place-seed require -place")
+	}
+	if *doPlace && !*placeAnneal && *placeSeed != 0 {
+		fatalf("sweep: -place-seed requires -place-anneal")
 	}
 	if *worker {
 		runWorker(cfg, *resume, *workerAbort)

@@ -126,15 +126,30 @@ func main() {
 			if err != nil {
 				fatalf("sweepd: -resume: %v", err)
 			}
-			if err := h.SameCensus(header); err != nil {
-				fatalf("sweepd: journal %s does not match this sweep: %v", journalPath, err)
+			if h.Stream == 0 {
+				// The previous run died before its header write: the
+				// repair truncated the journal to empty, so this run
+				// starts it fresh — nothing to resume, nothing to lose.
+				f, err := os.OpenFile(journalPath, os.O_WRONLY, 0o644)
+				if err != nil {
+					fatalf("sweepd: %v", err)
+				}
+				sw, err := census.NewStreamWriter(f, header)
+				if err != nil {
+					fatalf("sweepd: %v", err)
+				}
+				journalFile, journalW = f, sw
+			} else {
+				if err := h.SameCensus(header); err != nil {
+					fatalf("sweepd: journal %s does not match this sweep: %v", journalPath, err)
+				}
+				resumeRecs = recs
+				f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					fatalf("sweepd: %v", err)
+				}
+				journalFile, journalW = f, census.NewStreamAppender(f)
 			}
-			resumeRecs = recs
-			f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
-			if err != nil {
-				fatalf("sweepd: %v", err)
-			}
-			journalFile, journalW = f, census.NewStreamAppender(f)
 		} else {
 			f, err := os.Create(journalPath)
 			if err != nil {

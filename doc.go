@@ -90,17 +90,24 @@
 // (internal/place, CLI: cmd/place) additionally minimizes congestion —
 // the second classic embedding cost, decided by symmetries the
 // constructions leave free. Place searches candidate embeddings (base
-// strategies composed with guest/host axis permutations and mesh digit
-// rotations) for the one minimizing a configurable objective
+// strategies composed with guest/host axis permutations, mesh digit
+// rotations, and rotations of the prime refinement's intermediate
+// stage) and returns the Pareto front over (dilation, peakLinkLoad,
+// meanUsedLinkLoad) — Result.Front — plus the front member minimizing
+// a configurable objective
 //
 //	score = α·dilation + β·peakLinkLoad + γ·meanUsedLinkLoad
 //
 // with congestion computed by the netsim routing engine, candidates
-// scored concurrently on the shared worker pool, and dilation-based
-// pruning that skips congestion scoring of candidates that already
-// lost. The winner is deterministic and reported next to the paper
-// baseline; by default it is constrained to dilate no worse
-// (PlacementOptions.CapDilation). Sweeps can record best-found
+// scored concurrently on the shared worker pool (one shared
+// construction per base, host symmetries post-composed as table
+// fusions), and Pareto-safe pruning that skips congestion scoring of
+// candidates that can no longer join the front. Both the front and the
+// winner are deterministic and reported next to the paper baseline; by
+// default the winner is constrained to dilate no worse
+// (PlacementOptions.CapDilation), and PlacementOptions.Anneal adds a
+// seeded simulated-annealing refinement that admits a placement only
+// when it strictly dominates its seed. Sweeps can record best-found
 // placements per pair with `sweep -place`.
 //
 // # The distributed driver

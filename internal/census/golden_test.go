@@ -76,4 +76,9 @@ func TestGoldenArtifact(t *testing.T) {
 	if !dec.Placed || !dec.Congestion || !dec.Metrics {
 		t.Error("golden census should exercise metrics, congestion and placement columns")
 	}
+	// The golden reflects the histogram top-edge contract: the pair
+	// sitting exactly on each strategy's top bucket boundary is in the
+	// last bucket, not dropped (shared assertions with
+	// TestHistogramTopEdge).
+	assertHistogramTopEdges(t, dec)
 }

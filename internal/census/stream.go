@@ -42,6 +42,12 @@ const streamPrefix = `{"stream":`
 // of a record line — the signature of a writer killed mid-append.
 var ErrTruncatedStream = errors.New("census: stream artifact ends mid-record")
 
+// ErrNoHeader reports a stream artifact with no intact header line: an
+// empty file, or one whose writer was killed before the header's
+// trailing newline reached disk. RepairStreamFile treats it as a
+// repairable empty journal; the strict readers return it as an error.
+var ErrNoHeader = errors.New("census: stream has no header line")
+
 // StreamHeader is the first line of an NDJSON census stream: the
 // census-level fields of the artifact, minus the aggregates (which are
 // derived from the records and recomputed on read).
@@ -213,7 +219,7 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	line, n, err := readLine(br)
 	if err != nil {
 		if err == io.EOF || err == ErrTruncatedStream {
-			return nil, fmt.Errorf("census: stream has no header line")
+			return nil, ErrNoHeader
 		}
 		return nil, err
 	}
@@ -372,8 +378,16 @@ func ScanStreamFile(path string) (StreamHeader, []PairResult, error) {
 // This is the open-for-resume primitive: after it returns, appending
 // record lines to the file yields a well-formed stream again — without
 // it, the first appended record would glue onto the partial tail and
-// hide every later record from all future scans. Never call it on a
-// journal another process is still writing; use ScanStreamFile there.
+// hide every later record from all future scans.
+//
+// A journal whose writer died before (or during) its header write — an
+// empty file, or a lone header line cut before its newline — is not an
+// error here: the file is truncated to empty and the zero StreamHeader
+// is returned with no records, so the resume path can write a fresh
+// header and start over instead of refusing a journal that simply
+// never got going. Callers detect this case by the zero header
+// (Stream == 0). Never call RepairStreamFile on a journal another
+// process is still writing; use ScanStreamFile there.
 func RepairStreamFile(path string) (StreamHeader, []PairResult, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -381,6 +395,27 @@ func RepairStreamFile(path string) (StreamHeader, []PairResult, error) {
 	}
 	defer f.Close()
 	sr, err := NewStreamReader(f)
+	if errors.Is(err, ErrNoHeader) {
+		// Only a file that actually looks like a torn journal — empty,
+		// or starting with (a prefix of) the stream header prefix — is
+		// reset. Anything else is some other newline-less file the
+		// caller mistyped a path to; destroying it would be worse than
+		// the error.
+		head := make([]byte, len(streamPrefix))
+		n, rerr := f.ReadAt(head, 0)
+		if rerr != nil && rerr != io.EOF {
+			return StreamHeader{}, nil, fmt.Errorf("%s: %v", path, rerr)
+		}
+		head = head[:n]
+		prefix := []byte(streamPrefix)
+		if n > 0 && !bytes.HasPrefix(head, prefix) && !bytes.HasPrefix(prefix, head) {
+			return StreamHeader{}, nil, fmt.Errorf("%s: not a stream journal: %v", path, err)
+		}
+		if terr := f.Truncate(0); terr != nil {
+			return StreamHeader{}, nil, fmt.Errorf("%s: truncate headerless journal: %v", path, terr)
+		}
+		return StreamHeader{}, nil, nil
+	}
 	if err != nil {
 		return StreamHeader{}, nil, fmt.Errorf("%s: %v", path, err)
 	}

@@ -424,3 +424,291 @@ func TestHistogramBlock(t *testing.T) {
 		t.Error("metrics-off artifact serializes a histogram block")
 	}
 }
+
+// TestRepairHeaderlessJournal: a journal whose run was killed before
+// its first record — leaving an empty file or a header line cut before
+// its newline — must repair to an empty journal (zero header, no
+// records, file truncated to zero bytes), not error out the resume
+// path. A header-only journal with its newline intact repairs to its
+// header and zero records.
+func TestRepairHeaderlessJournal(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	data := streamBytes(t, c)
+	headerLine := data[:bytes.IndexByte(data, '\n')+1]
+	dir := t.TempDir()
+
+	for name, content := range map[string][]byte{
+		"empty":       nil,
+		"torn-header": headerLine[:len(headerLine)-1], // newline never hit disk
+	} {
+		path := filepath.Join(dir, name+".ndjson")
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		h, recs, err := census.RepairStreamFile(path)
+		if err != nil {
+			t.Fatalf("%s: repair errored: %v", name, err)
+		}
+		if h.Stream != 0 || h.Version != 0 || len(h.Shapes) != 0 || len(recs) != 0 {
+			t.Fatalf("%s: repair returned header %+v with %d records, want the zero header", name, h, len(recs))
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != 0 {
+			t.Fatalf("%s: repaired journal holds %d bytes, want 0", name, len(after))
+		}
+		// The truncated-to-empty journal restarts cleanly: a fresh
+		// header plus records reads back as a well-formed stream.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := census.NewStreamWriter(f, c.StreamHeader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.Results {
+			if err := sw.Write(&c.Results[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := census.ReadFileAny(path)
+		if err != nil {
+			t.Fatalf("%s: restarted journal does not read: %v", name, err)
+		}
+		if !bytes.Equal(encode(t, c), encode(t, back)) {
+			t.Errorf("%s: restarted journal does not round-trip the census", name)
+		}
+	}
+
+	// Header-only with its newline intact: a real (if empty) journal —
+	// kept as is, not truncated, its header returned.
+	path := filepath.Join(dir, "header-only.ndjson")
+	if err := os.WriteFile(path, headerLine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, recs, err := census.RepairStreamFile(path)
+	if err != nil {
+		t.Fatalf("header-only: %v", err)
+	}
+	if err := h.SameCensus(c.StreamHeader()); err != nil {
+		t.Errorf("header-only: header differs: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("header-only: %d records, want 0", len(recs))
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, headerLine) {
+		t.Error("header-only: repair modified an intact header line")
+	}
+	// The strict readers still refuse headerless streams outright.
+	if _, err := census.NewStreamReader(bytes.NewReader(nil)); !errors.Is(err, census.ErrNoHeader) {
+		t.Errorf("strict read of an empty stream: %v, want ErrNoHeader", err)
+	}
+	if _, err := census.ReadStream(bytes.NewReader(headerLine[:8])); !errors.Is(err, census.ErrNoHeader) {
+		t.Errorf("strict read of a torn header: %v, want ErrNoHeader", err)
+	}
+}
+
+// TestTornTailWithoutNewline: a final record line missing its trailing
+// newline is a torn tail even when the bytes parse as valid JSON — the
+// writer promises one Write per line, so a missing terminator means
+// the record may be incomplete (e.g. a truncated number would still
+// parse). IntactBytes must exclude it, the tolerant scan must drop it,
+// and repair must truncate it so a resumed appender cannot glue a new
+// record onto a possibly-partial one and duplicate the pair.
+func TestTornTailWithoutNewline(t *testing.T) {
+	c := mustRun(t, richConfig(24, 0))
+	data := streamBytes(t, c)
+	torn := data[:len(data)-1] // strip only the final newline: still valid JSON
+	intactLen := bytes.LastIndexByte(torn, '\n') + 1
+
+	sr, err := census.NewStreamReader(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := sr.Read()
+		if err != nil {
+			if !errors.Is(err, census.ErrTruncatedStream) {
+				t.Fatalf("read %d: %v, want ErrTruncatedStream", n, err)
+			}
+			break
+		}
+		n++
+	}
+	if n != len(c.Results)-1 {
+		t.Errorf("reader accepted %d records, want %d (the newline-less tail dropped)", n, len(c.Results)-1)
+	}
+	if got := sr.IntactBytes(); got != int64(intactLen) {
+		t.Errorf("IntactBytes = %d, want %d (tail record excluded)", got, intactLen)
+	}
+
+	_, recs, err := census.ScanStream(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(c.Results)-1 {
+		t.Errorf("scan recovered %d records, want %d", len(recs), len(c.Results)-1)
+	}
+
+	path := filepath.Join(t.TempDir(), "torn.ndjson")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = census.RepairStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(c.Results)-1 {
+		t.Errorf("repair recovered %d records, want %d", len(recs), len(c.Results)-1)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, torn[:intactLen]) {
+		t.Errorf("repair left %d bytes, want %d (tail truncated)", len(after), intactLen)
+	}
+	// Re-appending the dropped record yields the full stream again.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := census.NewStreamAppender(f).Write(&c.Results[len(c.Results)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := census.ReadFileAny(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, c), encode(t, back)) {
+		t.Error("repaired-then-appended journal does not round-trip the census")
+	}
+}
+
+// assertHistogramTopEdges checks the histogram top-edge contract of a
+// census (shared with the golden test): for every strategy, the
+// largest bucket key equals the strategy's largest measured value —
+// the pair sitting exactly on the top boundary lands in the last
+// bucket — and every embeddable result is bucketed (counts sum to the
+// strategy tally).
+func assertHistogramTopEdges(t *testing.T, c *census.Census) {
+	t.Helper()
+	maxDil, maxCon, count := map[string]int{}, map[string]int{}, map[string]int{}
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.FailureStage != "" {
+			continue
+		}
+		key := census.StrategyKey(r.Strategy)
+		count[key]++
+		maxDil[key] = max(maxDil[key], r.Dilation)
+		maxCon[key] = max(maxCon[key], r.Congestion)
+	}
+	if len(count) == 0 {
+		t.Fatal("census has no embeddable pairs")
+	}
+	for key, h := range c.Histograms {
+		topDil, sumDil := 0, 0
+		for d, n := range h.Dilation {
+			sumDil += n
+			topDil = max(topDil, d)
+		}
+		if topDil != maxDil[key] || h.Dilation[maxDil[key]] < 1 {
+			t.Errorf("%s: top dilation bucket %d does not hold the boundary value %d", key, topDil, maxDil[key])
+		}
+		if sumDil != count[key] {
+			t.Errorf("%s: dilation buckets tally %d pairs, want %d — a boundary value was dropped", key, sumDil, count[key])
+		}
+		topCon, sumCon := 0, 0
+		for l, n := range h.Congestion {
+			sumCon += n
+			topCon = max(topCon, l)
+		}
+		if topCon != maxCon[key] || h.Congestion[maxCon[key]] < 1 {
+			t.Errorf("%s: top congestion bucket %d does not hold the boundary value %d", key, topCon, maxCon[key])
+		}
+		if sumCon != count[key] {
+			t.Errorf("%s: congestion buckets tally %d pairs, want %d — a boundary value was dropped", key, sumCon, count[key])
+		}
+	}
+	// Every strategy with embeddable pairs has a histogram entry.
+	for key := range count {
+		if c.Histograms[key] == nil {
+			t.Errorf("%s carried pairs but has no histogram entry", key)
+		}
+	}
+}
+
+// TestHistogramTopEdge: a pair whose measured dilation or congestion
+// equals the largest value its strategy reaches — the top bucket
+// boundary — must land in that last bucket, not fall off the end of
+// the histogram.
+func TestHistogramTopEdge(t *testing.T) {
+	cfg := richConfig(16, 0)
+	cfg.Congestion = true
+	assertHistogramTopEdges(t, mustRun(t, cfg))
+}
+
+// TestRepairRefusesNonJournal: the headerless-repair path resets only
+// files that plausibly are torn journals (empty, or starting with a
+// prefix of the stream header). A newline-less file that is clearly
+// something else — a mistyped -journal path at a pidfile, say — must
+// error and stay intact, not be truncated to zero.
+func TestRepairRefusesNonJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pidfile")
+	content := []byte("12345")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := census.RepairStreamFile(path); err == nil {
+		t.Fatal("repair accepted a non-journal file")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, content) {
+		t.Fatalf("repair modified a non-journal file: %q", after)
+	}
+	// A genuinely torn header longer than the sniff prefix still
+	// repairs.
+	torn := filepath.Join(t.TempDir(), "torn.ndjson")
+	if err := os.WriteFile(torn, []byte(`{"stream":1,"version":3,"si`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, recs, err := census.RepairStreamFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stream != 0 || len(recs) != 0 {
+		t.Fatalf("torn header repaired to %+v with %d records", h, len(recs))
+	}
+	if after, err := os.ReadFile(torn); err != nil || len(after) != 0 {
+		t.Fatalf("torn header journal holds %d bytes after repair (err %v)", len(after), err)
+	}
+	// And a torn header shorter than the sniff prefix.
+	short := filepath.Join(t.TempDir(), "short.ndjson")
+	if err := os.WriteFile(short, []byte(`{"str`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := census.RepairStreamFile(short); err != nil {
+		t.Fatalf("short torn header: %v", err)
+	}
+	if after, err := os.ReadFile(short); err != nil || len(after) != 0 {
+		t.Fatalf("short torn header holds %d bytes after repair (err %v)", len(after), err)
+	}
+}

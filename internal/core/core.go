@@ -119,6 +119,46 @@ func EmbedViaPrimes(g, h grid.Spec) (*embed.Embedding, error) {
 	return embedViaPrimeRefinement(g, h)
 }
 
+// MidHook transforms the prime refinement's intermediate stage: given
+// the all-primes intermediate spec, it returns an embedding of the
+// intermediate into itself (a node relabeling, e.g. embed.Rotate) that
+// EmbedViaPrimesMid splices between the refinement's two stages. The
+// relabeling changes which intermediate nodes the reduction coarsens
+// together, so the composite is a genuinely new embedding of the pair —
+// the placement search enumerates intermediate rotations this way.
+type MidHook func(mid grid.Spec) (*embed.Embedding, error)
+
+// PrimeIntermediate returns the intermediate spec the prime refinement
+// routes g -> h through: the all-primes shape of the size, a torus only
+// when both endpoints are toruses. Candidate generators use it to
+// enumerate intermediate-stage relabelings without rebuilding the
+// refinement.
+func PrimeIntermediate(g, h grid.Spec) grid.Spec {
+	midKind := grid.Mesh
+	if g.Kind == grid.Torus && h.Kind == grid.Torus {
+		midKind = grid.Torus
+	}
+	return grid.Spec{Kind: midKind, Shape: primeShape(g.Size())}
+}
+
+// EmbedViaPrimesMid is EmbedViaPrimes with a hook applied to the
+// intermediate stage: the composite becomes up ∘ hook(mid) ∘ down. A
+// nil hook is EmbedViaPrimes. The hook's embedding must map the
+// intermediate spec onto itself.
+func EmbedViaPrimesMid(g, h grid.Spec, hook MidHook) (*embed.Embedding, error) {
+	if err := g.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: guest: %v", err)
+	}
+	if err := h.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("core: host: %v", err)
+	}
+	if g.Size() != h.Size() {
+		return nil, fmt.Errorf("core: guest %s has %d nodes but host %s has %d; the paper studies same-size embeddings",
+			g, g.Size(), h, h.Size())
+	}
+	return embedViaPrimeRefinementMid(g, h, hook)
+}
+
 // embedViaPrimeRefinement is an extension beyond the paper's explicit
 // cases, built purely from its tools: every shape is an expansion of the
 // all-primes shape of its size, so G expands into the prime shape X
@@ -129,26 +169,42 @@ func EmbedViaPrimes(g, h grid.Spec) (*embed.Embedding, error) {
 // a torus only when both endpoints are toruses, so the torus-into-mesh
 // penalty is paid at most once.
 func embedViaPrimeRefinement(g, h grid.Spec) (*embed.Embedding, error) {
-	x := primeShape(g.Size())
-	midKind := grid.Mesh
-	if g.Kind == grid.Torus && h.Kind == grid.Torus {
-		midKind = grid.Torus
-	}
-	mid := grid.Spec{Kind: midKind, Shape: x}
+	return embedViaPrimeRefinementMid(g, h, nil)
+}
+
+func embedViaPrimeRefinementMid(g, h grid.Spec, hook MidHook) (*embed.Embedding, error) {
+	mid := PrimeIntermediate(g, h)
 
 	up, err := refineToPrimes(g, mid)
 	if err != nil {
 		return nil, err
 	}
+	steps := []*embed.Embedding{up}
+	if hook != nil {
+		m, err := hook(mid)
+		if err != nil {
+			return nil, err
+		}
+		if !m.From.Shape.Equal(mid.Shape) || !m.To.Shape.Equal(mid.Shape) {
+			return nil, fmt.Errorf("core: mid hook must map %s onto itself, got %s -> %s", mid, m.From, m.To)
+		}
+		steps = append(steps, m)
+	}
 	down, err := coarsenFromPrimes(mid, h)
 	if err != nil {
 		return nil, err
 	}
-	e, err := embed.Compose(up, down)
+	steps = append(steps, down)
+	e, err := embed.ComposeAll(steps...)
 	if err != nil {
 		return nil, err
 	}
-	e.Strategy = "prime-refinement[" + up.Strategy + " ∘ " + down.Strategy + "]"
+	chain := up.Strategy
+	if hook != nil {
+		chain += " ∘ " + steps[1].Strategy
+	}
+	chain += " ∘ " + down.Strategy
+	e.Strategy = "prime-refinement[" + chain + "]"
 	return e, nil
 }
 

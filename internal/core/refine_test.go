@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"torusmesh/internal/embed"
 	"torusmesh/internal/grid"
 )
 
@@ -107,5 +108,61 @@ func TestPrimeShapeHelpers(t *testing.T) {
 	}
 	if got := primeFactors(17); len(got) != 1 || got[0] != 17 {
 		t.Errorf("primeFactors(17) = %v", got)
+	}
+}
+
+// TestEmbedViaPrimesMid: the intermediate-stage hook yields genuinely
+// new, still-valid embeddings — a rotation of the all-primes stage must
+// verify, keep the refinement's size/specs, and differ from the
+// unhooked table for at least one rotation of a pinned pair.
+func TestEmbedViaPrimesMid(t *testing.T) {
+	g, h := grid.TorusSpec(8, 2), grid.MeshSpec(4, 4)
+	mid := PrimeIntermediate(g, h)
+	if mid.Size() != g.Size() {
+		t.Fatalf("intermediate %s has %d nodes, want %d", mid, mid.Size(), g.Size())
+	}
+	plain, err := EmbedViaPrimesMid(g, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := EmbedViaPrimes(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refT, plainT := ref.Table(), plain.Table()
+	for i := range refT {
+		if refT[i] != plainT[i] {
+			t.Fatalf("nil hook diverges from EmbedViaPrimes at %d", i)
+		}
+	}
+	changed := false
+	for axis := 0; axis < mid.Dim(); axis++ {
+		rot := make([]int, mid.Dim())
+		rot[axis] = 1
+		e, err := EmbedViaPrimesMid(g, h, func(m grid.Spec) (*embed.Embedding, error) {
+			return embed.Rotate(m, rot)
+		})
+		if err != nil {
+			t.Fatalf("axis %d: %v", axis, err)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("axis %d: %v", axis, err)
+		}
+		for i, v := range e.Table() {
+			if v != refT[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Error("no intermediate rotation produced a new embedding")
+	}
+	// A hook whose embedding does not map the intermediate onto itself
+	// is rejected.
+	if _, err := EmbedViaPrimesMid(g, h, func(m grid.Spec) (*embed.Embedding, error) {
+		return embed.Rotate(g, []int{1, 0})
+	}); err == nil {
+		t.Error("hook with a non-intermediate embedding accepted")
 	}
 }

@@ -103,8 +103,10 @@ type Plan struct {
 	// retry (0 = DefaultBackoff).
 	Backoff time.Duration
 	// StragglerFactor re-issues an attempt still running after
-	// StragglerFactor × the median successful attempt wall time, once
-	// at least two attempts have succeeded. Zero disables the policy.
+	// StragglerFactor × the median completed-shard wall time, once at
+	// least two distinct shards have completed cleanly (a 0/1-sample
+	// median would let one shard's wall time cancel a healthy lone
+	// worker). Zero disables the policy.
 	StragglerFactor float64
 	// StragglerInterval is the check period (0 = DefaultStragglerInterval).
 	StragglerInterval time.Duration
@@ -224,7 +226,13 @@ type state struct {
 	failures  []int        // failed attempts per shard
 	issued    []int        // attempts issued per shard (numbering)
 	live      [][]*attempt // running attempts per shard
+	// durations holds one clean wall time per completed shard (timed
+	// marks which shards contributed). One sample per shard, not per
+	// attempt: a straggler race can finish both siblings of one shard
+	// cleanly, and two samples from a single shard must not pretend to
+	// be a fleet-wide median.
 	durations []time.Duration
+	timed     []bool
 }
 
 // fold validates one record and folds it into the merged result set.
@@ -289,6 +297,7 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 		failures:  make([]int, m),
 		issued:    make([]int, m),
 		live:      make([][]*attempt, m),
+		timed:     make([]bool, m),
 	}
 	for i := 0; i < d.space; i++ {
 		st.remaining[i%m]++
@@ -445,9 +454,10 @@ func (d *Driver) handleEvent(st *state, ev event, retries chan<- int, timers *[]
 	shardDone := st.doneShard[s]
 	if shardDone {
 		// The stripe is covered; this attempt either finished it or
-		// lost a straggler race. Record clean wall times for the
-		// straggler median and move on.
-		if ev.err == nil {
+		// lost a straggler race. Record the shard's first clean wall
+		// time for the straggler median and move on.
+		if ev.err == nil && !st.timed[s] {
+			st.timed[s] = true
 			st.durations = append(st.durations, ev.dur)
 		}
 		st.mu.Unlock()
@@ -476,9 +486,14 @@ func (d *Driver) handleEvent(st *state, ev event, retries chan<- int, timers *[]
 }
 
 // stragglers returns the shards whose single live attempt has run past
-// StragglerFactor × the median successful attempt duration. Each
-// attempt is re-issued at most once, and only once two attempts have
-// finished cleanly (otherwise there is no median to speak of).
+// StragglerFactor × the median completed-shard wall time. Each attempt
+// is re-issued at most once, and the cutoff arms only once at least
+// two distinct shards have completed cleanly: a median over a 0- or
+// 1-sample set says nothing about the fleet, and re-issuing (then
+// cancelling) a healthy lone worker off one shard's wall time would
+// turn the policy into a self-inflicted fault. durations is deduped
+// per shard (handleEvent), so a straggler race finishing both siblings
+// of one shard cannot arm the cutoff by itself.
 func (d *Driver) stragglers(st *state) []int {
 	if d.plan.StragglerFactor <= 0 {
 		return nil

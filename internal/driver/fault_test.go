@@ -267,3 +267,46 @@ func TestCorruptIndexRejected(t *testing.T) {
 		t.Error("census differs after corrupt-index retries")
 	}
 }
+
+// TestStragglerClampLoneWorker: with fewer than two completed shards
+// there is no fleet median, so the straggler cutoff must stay disarmed
+// — a healthy worker that is merely slow (the only shard still
+// running) must not be re-issued and cancelled off a 0/1-sample
+// "median". Before the clamp this scenario re-issued shard 1 as soon
+// as fast shard 0 landed its single duration sample.
+func TestStragglerClampLoneWorker(t *testing.T) {
+	cfg := template(24, 0)
+	want := encode(t, unsharded(t, cfg))
+	slow := workerFunc(func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+		if job.Shard == 1 {
+			// Far past any cutoff a 1-sample median would set, but
+			// healthy: it completes on its own.
+			select {
+			case <-time.After(150 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return driver.InProcess{}.Run(ctx, job, emit)
+	})
+	w := newFaultWorker(nil)
+	counting := workerFunc(func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+		w.mu.Lock()
+		w.attempts[job.Shard]++
+		w.mu.Unlock()
+		return slow(ctx, job, emit)
+	})
+	got := encode(t, run(t, driver.Plan{
+		Config: cfg, Shards: 2, Workers: 2, Worker: counting,
+		Backoff:           fastRetry,
+		Retries:           -1,
+		StragglerFactor:   1.5,
+		StragglerInterval: 5 * time.Millisecond,
+	}))
+	if !bytes.Equal(want, got) {
+		t.Error("census differs from unsharded census")
+	}
+	if n := w.attemptCount(1); n != 1 {
+		t.Errorf("slow lone shard ran %d attempt(s), want exactly 1 (cutoff must not arm on one completed shard)", n)
+	}
+}

@@ -1,0 +1,71 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/core"
+)
+
+// TestStragglerMedianPerShard: the straggler median draws one clean
+// wall-time sample per completed shard, not per attempt — a straggler
+// race finishing both siblings of one shard must contribute a single
+// sample and must not arm the cutoff — and with fewer than two samples
+// the cutoff stays disarmed no matter how long an attempt has run.
+func TestStragglerMedianPerShard(t *testing.T) {
+	cfg := census.Config{
+		Size:    24,
+		Shapes:  catalog.CanonicalShapesOfSize(24, 0),
+		Metrics: true,
+		Embed:   core.Embed,
+	}
+	d, err := New(Plan{Config: cfg, Shards: 3, Workers: 2, Worker: InProcess{}, StragglerFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 3
+	st := &state{
+		remaining: make([]int, m),
+		doneShard: make([]bool, m),
+		failures:  make([]int, m),
+		issued:    make([]int, m),
+		live:      make([][]*attempt, m),
+		timed:     make([]bool, m),
+	}
+	// Shard 0 completed; both of its attempts (the winner and a
+	// straggler sibling that also returned cleanly) report durations.
+	st.doneShard[0] = true
+	a1, a2 := &attempt{shard: 0}, &attempt{shard: 0}
+	st.live[0] = []*attempt{a1, a2}
+	if err := d.handleEvent(st, event{at: a1, dur: time.Millisecond}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.handleEvent(st, event{at: a2, dur: 2 * time.Millisecond}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.durations) != 1 {
+		t.Fatalf("one completed shard recorded %d duration samples, want 1", len(st.durations))
+	}
+	// Shard 1 has run far past any cutoff the single sample would set:
+	// with fewer than two completed shards, nothing may be re-issued.
+	st.live[1] = []*attempt{{shard: 1, start: time.Now().Add(-time.Hour)}}
+	if got := d.stragglers(st); len(got) != 0 {
+		t.Fatalf("cutoff armed on a 1-sample median: re-issued shards %v", got)
+	}
+	// A second completed shard supplies the second sample; now the
+	// long-running attempt is a straggler.
+	st.doneShard[2] = true
+	a3 := &attempt{shard: 2}
+	st.live[2] = []*attempt{a3}
+	if err := d.handleEvent(st, event{at: a3, dur: 3 * time.Millisecond}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.durations) != 2 {
+		t.Fatalf("two completed shards recorded %d duration samples, want 2", len(st.durations))
+	}
+	if got := d.stragglers(st); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1]", got)
+	}
+}

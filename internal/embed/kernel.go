@@ -257,13 +257,15 @@ func composeKernels(first, second Kernel) Kernel {
 }
 
 // FuseTables collapses two materialized steps into a single table:
-// fused[x] = second[first[x]]. The out-of-bounds sentinel (-1) in the
-// first step passes through so Verify can still report it.
+// fused[x] = second[first[x]]. Out-of-bounds images in the first step —
+// the -1 sentinel, or any rank outside the second table (a broken
+// caller-injected construction) — pass through unchanged so Verify and
+// CheckInjection can report them instead of a lookup panicking here.
 func FuseTables(first, second Table) Table {
 	fused := make(Table, len(first))
 	par.Blocks(len(first), par.Grain(len(first), 4096), func(lo, hi int) {
 		for x := lo; x < hi; x++ {
-			if v := first[x]; v >= 0 {
+			if v := first[x]; v >= 0 && v < len(second) {
 				fused[x] = second[v]
 			} else {
 				fused[x] = v
@@ -271,6 +273,34 @@ func FuseTables(first, second Table) Table {
 		}
 	})
 	return fused
+}
+
+// PostCompose returns the embedding followed by a pure relabeling of
+// the host's ranks: the image of guest rank x becomes post[base(x)].
+// post must cover every host rank, and to must have the host's size
+// (only the kind and axis labeling may differ — the relabeled host).
+//
+// This is the cheap half of candidate generation in the placement
+// search: a base construction is built (and materialized) once, and
+// each host symmetry — an axis permutation back from the permuted
+// host, a coordinate rotation — is applied as a single table fusion
+// instead of re-running the construction. post is not required to be
+// distance-preserving (mesh rotations are not), so no dilation
+// guarantee is carried over; predicted records the caller's bound, or
+// 0 to force measurement.
+func PostCompose(base *Embedding, to grid.Spec, strategy string, predicted int, post Table) (*Embedding, error) {
+	if len(post) != base.To.Size() {
+		return nil, fmt.Errorf("embed: post-compose table has %d entries, want %d", len(post), base.To.Size())
+	}
+	if to.Size() != base.To.Size() {
+		return nil, fmt.Errorf("embed: post-compose host %s has %d nodes, want %d", to, to.Size(), base.To.Size())
+	}
+	// composeKernels fuses a materialized base with post into one lookup
+	// table — the common placement-search case (Kernel materializes and
+	// caches guests under the threshold on first use) — and otherwise
+	// chains the stages.
+	k := composeKernels(base.Kernel(), post)
+	return NewKernel(base.From, to, strategy, predicted, k)
 }
 
 // Materialize evaluates k over [0, n) in parallel blocks and returns

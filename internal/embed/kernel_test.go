@@ -280,3 +280,82 @@ func BenchmarkVerifyBatch(b *testing.B) {
 		}
 	}
 }
+
+// TestPostCompose: fusing a host-rank relabeling onto a base embedding
+// must agree with the reference composition of the two embeddings, for
+// both materialized and chained (above-threshold) bases.
+func TestPostCompose(t *testing.T) {
+	g := grid.MustSpec(grid.Torus, grid.Shape{8, 2})
+	h := grid.MustSpec(grid.Mesh, grid.Shape{4, 4})
+	n := g.Size()
+	// A simple rank bijection stands in for a base construction.
+	tab := make([]int, n)
+	for i := range tab {
+		tab[i] = (i*3 + 1) % n
+	}
+	newBase := func() *Embedding {
+		base, err := FromTable(g, h, "base", 0, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base
+	}
+	// The relabeling under test: a rotation of the host, whose table is
+	// a pure host-rank permutation.
+	rot, err := Rotate(h, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := Materialize(rot.Kernel(), h.Size())
+	want, err := Compose(newBase(), rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(got *Embedding) {
+		t.Helper()
+		wt, gt := want.Table(), got.Table()
+		for i := range wt {
+			if wt[i] != gt[i] {
+				t.Fatalf("table[%d] = %d, want %d", i, gt[i], wt[i])
+			}
+		}
+		// The derived per-node Map must agree with the kernel.
+		for x := 0; x < n; x++ {
+			if r := got.To.Shape.Index(got.Map(g.Shape.NodeAt(x))); r != wt[x] {
+				t.Fatalf("Map(%d) = %d, want %d", x, r, wt[x])
+			}
+		}
+	}
+	got, err := PostCompose(newBase(), h, "fused", 0, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(got)
+	if _, ok := got.Kernel().(Table); !ok {
+		t.Error("materialized base did not fuse to a single table")
+	}
+	// Above the materialization threshold the base stays a chain; the
+	// fused embedding must still agree.
+	old := MaterializeThreshold()
+	SetMaterializeThreshold(0)
+	defer SetMaterializeThreshold(old)
+	fnBase, err := NewIndexed(g, h, "base", 0, func(x int) int { return tab[x] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := PostCompose(fnBase, h, "chained", 0, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got2.cachedKernel().(Table); ok {
+		t.Error("above-threshold base should chain, not materialize")
+	}
+	check(got2)
+	// Size mismatches are rejected.
+	if _, err := PostCompose(newBase(), h, "bad", 0, post[:4]); err == nil {
+		t.Error("short post table accepted")
+	}
+	if _, err := PostCompose(newBase(), grid.MustSpec(grid.Mesh, grid.Shape{4, 2}), "bad", 0, post); err == nil {
+		t.Error("wrong-size host accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// The simulated-annealing refinement pass: a budgeted, seeded local
+// search over node-swap moves that runs after the enumerated candidate
+// space has been scored. Every front member of a small pair seeds one
+// annealing run; a refined placement is admitted to the front only when
+// it strictly Pareto-dominates its seed, so the pass can tighten the
+// front but never degrade or perturb it — and with a fixed Config.Seed
+// the whole pass is deterministic (runs are sequential, the RNG is
+// derived from the seed and the run number, and no wall-clock or
+// scheduling state is read).
+//
+// The move set is the full swap neighborhood of the placement
+// bijection: two guest ranks exchange their host images, which
+// preserves injectivity by construction. Each move is evaluated
+// exactly — one fused dilation pass plus one congestion routing of the
+// guest's edges — which is why the pass is gated to pairs of at most
+// AnnealMaxNodes guest nodes.
+
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"torusmesh/internal/embed"
+	"torusmesh/internal/netsim"
+)
+
+const (
+	// DefaultAnnealSteps budgets each annealing run when
+	// Config.AnnealSteps is zero: every step fully re-measures the
+	// swapped placement.
+	DefaultAnnealSteps = 256
+	// DefaultAnnealSeed seeds the annealing RNG when Config.Seed is
+	// zero.
+	DefaultAnnealSeed = 1
+	// AnnealMaxNodes gates the pass to small pairs: full re-measurement
+	// per move does not scale past a few hundred nodes.
+	AnnealMaxNodes = 256
+	// annealMaxSeeds caps how many front members seed annealing runs
+	// (in front order), bounding the pass on wide fronts.
+	annealMaxSeeds = 8
+)
+
+// tableCosts is the exact cost vector of one placement table.
+type tableCosts struct {
+	dil     int
+	avg     float64
+	peak    int
+	avgLink float64
+	score   float64
+}
+
+// dominatesCosts is Pareto dominance on the cost vector — the
+// tableCosts twin of dominates on Candidate, sharing the same rule.
+func (c tableCosts) dominatesCosts(o tableCosts) bool {
+	return dominatesTriple(c.dil, c.peak, c.avgLink, o.dil, o.peak, o.avgLink)
+}
+
+// evalTable measures a placement table exactly: the fused dilation pass
+// and the congestion routing — the same measurements every enumerated
+// candidate gets.
+func (s *searcher) evalTable(tab embed.Table) (tableCosts, error) {
+	sc := s.scratch.Get().(*measureBufs)
+	dil, avg := s.cfg.Guest.EdgeDilation(tab, s.rd, sc.a, sc.b)
+	s.scratch.Put(sc)
+	stats, err := netsim.Congestion(s.nw, s.tg, netsim.Placement(tab))
+	if err != nil {
+		return tableCosts{}, err
+	}
+	c := tableCosts{dil: dil, avg: avg, peak: stats.MaxLink, avgLink: stats.AvgLink()}
+	c.score = s.cfg.Objective.Score(c.dil, c.peak, c.avgLink)
+	return c, nil
+}
+
+// annealRun refines one placement table by simulated annealing over
+// node-swap moves and returns the best table visited with its costs.
+// Deterministic for a given table, step budget and RNG state.
+func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *rand.Rand) (embed.Table, tableCosts, error) {
+	n := len(tab)
+	cur := start
+	bestTab := append(embed.Table(nil), tab...)
+	best := start
+	// Geometric cooling from a temperature that makes early uphill
+	// moves of about a tenth of the seed score likely, down to
+	// effectively greedy.
+	t0 := 1 + 0.1*start.score
+	const tEnd = 0.01
+	for step := 0; step < steps; step++ {
+		temp := t0 * math.Pow(tEnd/t0, float64(step)/float64(steps))
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		tab[i], tab[j] = tab[j], tab[i]
+		c, err := s.evalTable(tab)
+		if err != nil {
+			return nil, tableCosts{}, err
+		}
+		delta := c.score - cur.score
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = c
+			// Best-visited advances on a strictly lower score, or on
+			// Pareto dominance at a tied score: a zero-weighted cost
+			// (e.g. avg-link under the default 1,1,0 objective) ties
+			// the score but still dominates — exactly the improvement
+			// the admission gate accepts.
+			if c.score < best.score || c.dominatesCosts(best) {
+				best = c
+				copy(bestTab, tab)
+			}
+		} else {
+			tab[i], tab[j] = tab[j], tab[i] // reject: undo the swap
+		}
+	}
+	return bestTab, best, nil
+}
+
+// annealFront runs the refinement pass over the front: each of the
+// first annealMaxSeeds front members seeds one run, refined placements
+// strictly dominating their seed become annealed candidates (indices
+// continuing past the enumerated variants), and the front is
+// recomputed over the union. Counters and tables are recorded on res /
+// tables for the caller.
+func (s *searcher) annealFront(variants []variantSpec, front []Candidate, res *Result, tables map[int]embed.Table) ([]Candidate, error) {
+	cfg := s.cfg
+	if cfg.Guest.Size() > AnnealMaxNodes {
+		return front, nil
+	}
+	seeds := front
+	if len(seeds) > annealMaxSeeds {
+		seeds = seeds[:annealMaxSeeds]
+	}
+	var refined []Candidate
+	for k, seed := range seeds {
+		e, err := s.build(variants[seed.Index])
+		if err != nil {
+			return nil, fmt.Errorf("place: anneal: rebuilding seed %d: %v", seed.Index, err)
+		}
+		start := tableCosts{dil: seed.Dilation, avg: seed.AvgDilation, peak: seed.Peak, avgLink: seed.AvgLink, score: seed.Score}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+		tab, got, err := s.annealRun(embed.Table(e.Table()), start, cfg.AnnealSteps, rng)
+		if err != nil {
+			return nil, fmt.Errorf("place: anneal: seed %d: %v", seed.Index, err)
+		}
+		res.Annealed++
+		c := Candidate{
+			Index:         len(variants) + k,
+			Strategy:      "anneal",
+			Annealed:      true,
+			AnnealedFrom:  seed.Index,
+			EmbedStrategy: fmt.Sprintf("anneal[%d swaps from #%d]", cfg.AnnealSteps, seed.Index),
+			Dilation:      got.dil,
+			AvgDilation:   got.avg,
+			Peak:          got.peak,
+			AvgLink:       got.avgLink,
+			Score:         got.score,
+		}
+		// Admission is strict dominance over the seed: an annealed
+		// placement never replaces an equal or incomparable one, so the
+		// pass cannot degrade the front — and never emits a point its
+		// own seed dominates.
+		if !dominates(c, seed) {
+			continue
+		}
+		tables[c.Index] = tab
+		refined = append(refined, c)
+	}
+	if len(refined) == 0 {
+		return front, nil
+	}
+	out := paretoFront(append(append([]Candidate(nil), front...), refined...))
+	// Wins are counted on the final front, after the dedup of identical
+	// cost vectors: an admitted candidate that ties another refined
+	// placement exactly did not add a front member.
+	for _, c := range out {
+		if c.Annealed {
+			res.AnnealWins++
+		}
+	}
+	return out, nil
+}

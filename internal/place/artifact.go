@@ -17,7 +17,16 @@ import (
 
 // ArtifactVersion is the schema version stamped into every artifact.
 // Decode rejects artifacts from other versions.
-const ArtifactVersion = 1
+//
+// Version history:
+//
+//	1: single scalarized winner (baseline + best).
+//	2: Pareto-front search — the "front" block (non-dominated
+//	   candidates over dilation/peak/avg-link in cost order), the
+//	   mid-rotation candidate fields ("mid_rot"), and the annealing
+//	   refinement fields ("annealed", "anneal_wins", "seed", and the
+//	   per-candidate "annealed"/"annealed_from" provenance).
+const ArtifactVersion = 2
 
 // Encode writes the result as deterministic, human-readable JSON.
 func Encode(w io.Writer, r *Result) error {

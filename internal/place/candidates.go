@@ -2,12 +2,25 @@
 // symmetry variants around the base strategies, and the construction of
 // one variant's composite embedding
 //
-//	hostRot ∘ hostPermBack ∘ base(guestPerm(G) → hostPerm(H)) ∘ guestPerm ∘ guestRot.
+//	hostRot ∘ hostPermBack ∘ base(guestPerm(G) → hostPerm(H)) ∘ guestPerm ∘ guestRot
+//
+// where base is the strategy's construction, optionally rebuilt around
+// a rotation of its intermediate stage (mid-rotation variants).
 //
 // The enumeration order is the contract the budget and the score
 // tie-break rely on: index 0 is the paper baseline, earlier tiers hold
 // the cheaper/simpler variants, and a truncated budget still samples
 // every generator before the permutation cross product.
+//
+// Construction is split in two so candidates stay cheap: everything up
+// to and including the base construction (buildBase) is cached per
+// distinct (strategy, guest symmetries, mid rotation, permuted host
+// shape), and the host-side symmetries — the permutation back from the
+// permuted host and the host rotation — are pure relabelings of host
+// ranks, post-composed onto the cached base as a single table fusion
+// (embed.PostCompose). On hosts with equal-length axes every member of
+// the host permutation group targets the same permuted shape, so the
+// whole tier shares one construction.
 
 package place
 
@@ -31,11 +44,12 @@ type variantSpec struct {
 	strategy     int // index into Config.Strategies
 	gperm, hperm perm.Perm
 	grot, hrot   []int
+	midrot       []int // rotation of the strategy's intermediate stage
 }
 
 // key is the dedup identity of a variant.
 func (v variantSpec) key() string {
-	return fmt.Sprintf("%d|%v|%v|%v|%v", v.strategy, v.gperm, v.hperm, v.grot, v.hrot)
+	return fmt.Sprintf("%d|%v|%v|%v|%v|%v", v.strategy, v.gperm, v.hperm, v.grot, v.hrot, v.midrot)
 }
 
 // describe fills the serializable form of the variant.
@@ -45,6 +59,7 @@ func (v variantSpec) describe(idx int, cfg *Config) Candidate {
 	c.HostPerm = append([]int(nil), v.hperm...)
 	c.GuestRot = append([]int(nil), v.grot...)
 	c.HostRot = append([]int(nil), v.hrot...)
+	c.MidRot = append([]int(nil), v.midrot...)
 	return c
 }
 
@@ -104,6 +119,33 @@ func rotationSide(sp grid.Spec) int {
 	return n
 }
 
+// midRotations returns the single-axis rotations of a strategy's
+// intermediate stage for the pair, or nil when the strategy exposes no
+// intermediate. Unlike host/guest rotations these are enumerated for
+// torus intermediates too: rotating the intermediate changes which of
+// its nodes the second stage coarsens together, so the composite is a
+// new embedding even when the rotation is an automorphism of the
+// intermediate itself.
+func midRotations(cfg *Config, si int) [][]int {
+	st := cfg.Strategies[si]
+	if st.Mid == nil {
+		return nil
+	}
+	mid, ok := st.Mid(cfg.Guest, cfg.Host)
+	if !ok {
+		return nil
+	}
+	var out [][]int
+	for j, l := range mid.Shape {
+		for _, r := range rotOffsets(l) {
+			rot := make([]int, mid.Dim())
+			rot[j] = r
+			out = append(out, rot)
+		}
+	}
+	return out
+}
+
 // enumerate generates the budget-truncated candidate list and the size
 // of the full space. The baseline (first strategy, identity
 // symmetries) is always entry 0. Generation stops as soon as the
@@ -114,14 +156,19 @@ func rotationSide(sp grid.Spec) int {
 func enumerate(cfg *Config) ([]variantSpec, int) {
 	gps := guestPerms(cfg.Guest.Shape)
 	hps := hostPerms(cfg.Host.Shape)
-	// Tiers 0-2 are subsets of the tier-4 cross product, and rotation
-	// variants never collide with permutation variants, so the deduped
-	// space is exactly:
+	// Tiers 0-2 are subsets of the tier-5 cross product, and rotation /
+	// mid-rotation variants never collide with permutation variants, so
+	// the deduped space is exactly:
 	rotations := 0
 	if cfg.Rotations {
 		rotations = rotationSide(cfg.Guest) + rotationSide(cfg.Host)
 	}
-	space := len(cfg.Strategies) * (len(gps)*len(hps) + rotations)
+	space := 0
+	midrots := make([][][]int, len(cfg.Strategies))
+	for si := range cfg.Strategies {
+		midrots[si] = midRotations(cfg, si)
+		space += len(gps)*len(hps) + rotations + len(midrots[si])
+	}
 
 	all := make([]variantSpec, 0, min(cfg.Budget, space))
 	seen := map[string]bool{}
@@ -198,7 +245,17 @@ func enumerate(cfg *Config) ([]variantSpec, int) {
 			}
 		}
 	}
-	// Tier 4: the guest × host permutation cross product.
+	// Tier 4: rotations of each strategy's intermediate stage —
+	// genuinely new base embeddings, not symmetry variants of old ones.
+	for si := range cfg.Strategies {
+		for _, rot := range midrots[si] {
+			if full() {
+				return all, space
+			}
+			add(variantSpec{strategy: si, midrot: rot})
+		}
+	}
+	// Tier 5: the guest × host permutation cross product.
 	for si := range cfg.Strategies {
 		for _, gp := range gps {
 			for _, hp := range hps {
@@ -212,11 +269,28 @@ func enumerate(cfg *Config) ([]variantSpec, int) {
 	return all, space
 }
 
-// buildVariant constructs the composite embedding of one variant. Every
-// step is injective, so the composition is; Search verifies the
-// baseline and the winner as a safety net.
-func buildVariant(cfg *Config, v variantSpec) (*embed.Embedding, error) {
-	g, h := cfg.Guest, cfg.Host
+// permutedHost returns the host the variant's construction targets: the
+// axis-permuted host, or the host itself.
+func permutedHost(h grid.Spec, hperm perm.Perm) grid.Spec {
+	if hperm == nil {
+		return h
+	}
+	return grid.Spec{Kind: h.Kind, Shape: grid.Shape(perm.Apply(hperm, h.Shape))}
+}
+
+// baseKey identifies the construction half of a variant: the strategy,
+// the guest-side pre-symmetries, the mid rotation, and the permuted
+// host shape the construction targets. Variants sharing a key share
+// one constructed (and materialized) embedding.
+func (v variantSpec) baseKey(hp grid.Spec) string {
+	return fmt.Sprintf("%d|%v|%v|%v|%s", v.strategy, v.gperm, v.grot, v.midrot, hp.Shape)
+}
+
+// buildBase constructs the cached half of a variant: guest rotation,
+// guest permutation, then the strategy's construction into the permuted
+// host (around a rotated intermediate for mid-rotation variants).
+func buildBase(cfg *Config, v variantSpec, hp grid.Spec) (*embed.Embedding, error) {
+	g := cfg.Guest
 	var steps []*embed.Embedding
 	if v.grot != nil {
 		rot, err := embed.Rotate(g, v.grot)
@@ -234,31 +308,76 @@ func buildVariant(cfg *Config, v variantSpec) (*embed.Embedding, error) {
 		steps = append(steps, p)
 		cur = p.To
 	}
-	hp := h
-	if v.hperm != nil {
-		hp = grid.Spec{Kind: h.Kind, Shape: grid.Shape(perm.Apply(v.hperm, h.Shape))}
+	st := cfg.Strategies[v.strategy]
+	var base *embed.Embedding
+	var err error
+	if v.midrot != nil {
+		base, err = st.EmbedMidRot(cur, hp, v.midrot)
+	} else {
+		base, err = st.Embed(cur, hp)
 	}
-	base, err := cfg.Strategies[v.strategy].Embed(cur, hp)
 	if err != nil {
 		return nil, err
 	}
 	steps = append(steps, base)
+	return embed.ComposeAll(steps...)
+}
+
+// postParts returns the host-side relabeling of a variant as a rank
+// table over the host plus its strategy-chain suffix, or (nil, "") for
+// the identity. The table is the fused permute-back ∘ host-rotation
+// map — a pure bijection of host ranks.
+func postParts(cfg *Config, v variantSpec) (embed.Table, string, error) {
+	h := cfg.Host
+	var post embed.Table
+	var name string
 	if v.hperm != nil {
+		hp := permutedHost(h, v.hperm)
 		back, err := embed.Permute(hp, perm.Perm(v.hperm).Inverse(), h.Kind)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if !back.To.Shape.Equal(h.Shape) {
-			return nil, fmt.Errorf("place: internal error: host permutation %v does not invert for %s", v.hperm, h)
+			return nil, "", fmt.Errorf("place: internal error: host permutation %v does not invert for %s", v.hperm, h)
 		}
-		steps = append(steps, back)
+		post = append(embed.Table(nil), embed.Materialize(back.Kernel(), h.Size())...)
+		name = back.Strategy
 	}
 	if v.hrot != nil {
 		rot, err := embed.Rotate(h, v.hrot)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		steps = append(steps, rot)
+		rt := embed.Materialize(rot.Kernel(), h.Size())
+		if post == nil {
+			post = append(embed.Table(nil), rt...)
+			name = rot.Strategy
+		} else {
+			post = embed.FuseTables(post, rt)
+			name += " ∘ " + rot.Strategy
+		}
 	}
-	return embed.ComposeAll(steps...)
+	return post, name, nil
+}
+
+// buildVariant constructs the composite embedding of one variant from
+// scratch — the uncached reference builder. The searcher's cached
+// build path must produce rank-identical embeddings (pinned by
+// TestCachedBuildMatchesReference); tests and one-off callers use this
+// form. Every step is injective, so the composition is; Search
+// verifies the baseline and the winner as a safety net.
+func buildVariant(cfg *Config, v variantSpec) (*embed.Embedding, error) {
+	hp := permutedHost(cfg.Host, v.hperm)
+	base, err := buildBase(cfg, v, hp)
+	if err != nil {
+		return nil, err
+	}
+	if v.hperm == nil && v.hrot == nil {
+		return base, nil
+	}
+	post, name, err := postParts(cfg, v)
+	if err != nil {
+		return nil, err
+	}
+	return embed.PostCompose(base, cfg.Host, base.Strategy+" ∘ "+name, 0, post)
 }

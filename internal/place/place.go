@@ -2,7 +2,11 @@
 // repo's measurement stack (embed kernels for construction, netsim for
 // routing, par for parallelism) into an optimizer that searches, for one
 // (guest, host) pair, over a space of candidate embeddings and returns
-// the one minimizing a configurable objective
+// the Pareto front over the three placement costs
+//
+//	(dilation, peakLinkLoad, meanUsedLinkLoad)
+//
+// together with the scalarized winner minimizing
 //
 //	score = α·dilation + β·peakLinkLoad + γ·meanUsedLinkLoad
 //
@@ -19,7 +23,7 @@
 //
 //	post ∘ base(gσ → hσ) ∘ pre
 //
-// from four deterministic generators:
+// from five deterministic generators:
 //
 //   - Strategies: alternative base constructions for the pair. The
 //     first strategy is the paper baseline (core.Embed's pick); callers
@@ -45,31 +49,52 @@
 //     that commute with dimension-ordered routing — metric-invariant —
 //     so the generator emits them only for mesh guests and mesh hosts,
 //     where they are genuine (if usually dilation-hostile) candidates.
+//   - Intermediate rotations: strategies that route through an
+//     intermediate stage (the prime refinement's all-primes graph)
+//     rebuild around a rotated intermediate (core.EmbedViaPrimesMid),
+//     changing which intermediate nodes the second stage coarsens
+//     together — genuinely new embeddings, enumerated for torus
+//     intermediates too.
 //
 // Generators are tiered — strategies, then host permutations, then
-// guest permutations, then rotations, then the permutation cross
-// product — so a small Budget still samples every generator before the
-// cross product exhausts it.
+// guest permutations, then rotations, then intermediate rotations, then
+// the permutation cross product — so a small Budget still samples every
+// generator before the cross product exhausts it.
 //
 // # Evaluation
 //
-// Candidates are scored concurrently on the internal/par pool. Each
-// worker constructs the composite embedding, validates it (strategies
-// are caller-injected, so a broken construction is discarded and
-// counted, not fatal — only the baseline is load-bearing), measures
-// dilation and average dilation in one fused pass over the guest's
-// edge blocks (grid.EdgeDilation on the materialized kernel table),
-// and only then routes the guest's edges for congestion — the
-// expensive half.
-// Two gates skip that half early: a candidate whose measured dilation
-// exceeds the cap (CapDilation pins the cap to the baseline's measured
-// dilation) is discarded, and a candidate whose dilation-only score
-// lower bound α·d + β + γ already exceeds the incumbent best score is
-// pruned. Pruning depends on scheduling, but never changes the result:
-// a pruned candidate's true score is strictly worse than the incumbent
-// it was compared against, so the best candidate — lowest score, ties
-// broken toward the lowest (earliest-tier) index — is deterministic,
-// and so is the JSON artifact (volatile counters are excluded).
+// Candidates are scored concurrently on the internal/par pool, but the
+// construction half is shared: each distinct (strategy, guest
+// symmetries, intermediate rotation, permuted host shape) is built and
+// materialized once, and host-side symmetries — pure relabelings of
+// host ranks — are post-composed onto the cached base as a single
+// table fusion (embed.PostCompose). On hosts with equal-length axes the
+// whole host-permutation tier shares one construction.
+//
+// Each worker validates its candidate (strategies are caller-injected,
+// so a broken construction is discarded and counted, not fatal — only
+// the baseline is load-bearing), measures dilation and average dilation
+// in one fused pass over the guest's edge blocks, and only then routes
+// the guest's edges for congestion — the expensive half. Two gates skip
+// that half early: a candidate whose measured dilation exceeds the cap
+// (CapDilation pins the cap to the baseline's measured dilation) is
+// discarded, and a candidate whose best conceivable cost vector
+// (dilation, 1, 1) is already strictly dominated by a fully scored
+// candidate is pruned — it can neither join the front nor win. Pruning
+// depends on scheduling, but never changes the result: the front — the
+// non-dominated set over the scored candidates, identical cost vectors
+// represented by the lowest (earliest-tier) index — is deterministic,
+// the scalarized winner is the front member with the lowest score (ties
+// to the lowest index), and so is the JSON artifact (volatile counters
+// are excluded).
+//
+// # Annealing refinement
+//
+// With Config.Anneal, small pairs additionally get a seeded,
+// deterministic simulated-annealing pass (anneal.go) over node-swap
+// moves, run from each front member; a refined placement is admitted
+// only when it strictly dominates its seed, so annealing can only grow
+// the front inward, never degrade it.
 //
 // The baseline candidate (first strategy, identity permutations) is
 // always fully scored and verified, and reported next to the winner, so
@@ -78,6 +103,7 @@ package place
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -99,6 +125,14 @@ type EmbedFunc func(g, h grid.Spec) (*embed.Embedding, error)
 type Strategy struct {
 	Name  string
 	Embed EmbedFunc
+	// Mid, when set with EmbedMidRot, exposes the construction's
+	// intermediate stage for the pair (ok=false when it has none) and
+	// enables the intermediate-rotation generator: EmbedMidRot rebuilds
+	// the construction with a per-axis rotation of that intermediate
+	// (core.PrimeIntermediate / core.EmbedViaPrimesMid for the prime
+	// refinement). Both must be set together.
+	Mid         func(g, h grid.Spec) (grid.Spec, bool)
+	EmbedMidRot func(g, h grid.Spec, rot []int) (*embed.Embedding, error)
 }
 
 // Objective weighs the three placement costs. All weights must be
@@ -140,12 +174,6 @@ func ParseObjective(s string) (Objective, error) {
 	return Objective{Alpha: weights[0], Beta: weights[1], Gamma: weights[2]}, nil
 }
 
-// lowerBound is the cheapest score a candidate with the given dilation
-// can still reach. Adjacent guest nodes have distinct images, so every
-// embeddable pair has dilation >= 1, at least one used link, and mean
-// used-link load >= 1.
-func (o Objective) lowerBound(dilation int) float64 { return o.Score(dilation, 1, 1) }
-
 func (o Objective) validate() error {
 	if o.Alpha < 0 || o.Beta < 0 || o.Gamma < 0 {
 		return fmt.Errorf("place: objective weights must be non-negative, got (%g, %g, %g)", o.Alpha, o.Beta, o.Gamma)
@@ -170,11 +198,24 @@ type Config struct {
 	Budget int
 	// CapDilation discards every candidate whose measured dilation
 	// exceeds the baseline's, so the winner trades congestion at equal
-	// or better dilation.
+	// or better dilation (and the front spans only dilations up to the
+	// baseline's).
 	CapDilation bool
 	// Rotations includes the digit-rotation generator (mesh sides
 	// only; torus rotations are metric-invariant automorphisms).
 	Rotations bool
+	// Anneal adds the simulated-annealing refinement pass: every front
+	// member of a small pair (at most AnnealMaxNodes guest nodes) seeds
+	// a deterministic annealing run over node-swap moves, and refined
+	// placements that strictly dominate their seed join the front.
+	Anneal bool
+	// AnnealSteps budgets each annealing run (<= 0 means
+	// DefaultAnnealSteps).
+	AnnealSteps int
+	// Seed seeds the deterministic annealing RNG (0 means
+	// DefaultAnnealSeed). Two searches with equal configs — seed
+	// included — produce identical artifacts.
+	Seed int64
 	// Strategies are the base constructions; Strategies[0] is the
 	// baseline the search reports against. At least one is required.
 	Strategies []Strategy
@@ -198,6 +239,9 @@ func (cfg *Config) validate() error {
 		if s.Name == "" || s.Embed == nil {
 			return fmt.Errorf("place: every strategy needs a name and an embed function")
 		}
+		if (s.Mid == nil) != (s.EmbedMidRot == nil) {
+			return fmt.Errorf("place: strategy %s must set Mid and EmbedMidRot together", s.Name)
+		}
 	}
 	if err := cfg.Objective.validate(); err != nil {
 		return err
@@ -208,15 +252,29 @@ func (cfg *Config) validate() error {
 	if cfg.Budget <= 0 {
 		cfg.Budget = DefaultBudget
 	}
+	if cfg.Anneal {
+		if cfg.AnnealSteps <= 0 {
+			cfg.AnnealSteps = DefaultAnnealSteps
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = DefaultAnnealSeed
+		}
+	}
 	return nil
 }
 
-// Spec renders the settings that determine a pair's search result —
-// objective, budget, cap, rotation generator and strategy names — as
-// one canonical string, with the zero-value defaults applied the way
-// Search applies them. The census records it in its artifact so Merge
-// refuses to combine shards searched under different settings (mixed
-// settings would silently break the bit-for-bit merge invariant).
+// Spec renders everything that determines a pair's search result — the
+// engine version, objective, budget, cap, generators, annealing knobs
+// and strategy names — as one canonical string, with the zero-value
+// defaults applied the way Search applies them. The census records it
+// in its artifact so Merge refuses to combine shards searched under
+// different settings, and resume refuses journals from a different
+// engine (mixing either would silently break the bit-for-bit
+// merge/resume invariant). The engine token tracks ArtifactVersion:
+// the candidate space and winner selection changed with the Pareto
+// engine, so pre-upgrade shard artifacts must not fold into
+// post-upgrade searches even at identical settings. The annealing
+// tokens appear only when annealing is on.
 func (cfg Config) Spec() string {
 	if (cfg.Objective == Objective{}) {
 		cfg.Objective = DefaultObjective()
@@ -228,18 +286,33 @@ func (cfg Config) Spec() string {
 	for i, s := range cfg.Strategies {
 		names[i] = s.Name
 	}
-	return fmt.Sprintf("objective=%g,%g,%g budget=%d cap=%t rotations=%t strategies=%s",
-		cfg.Objective.Alpha, cfg.Objective.Beta, cfg.Objective.Gamma,
+	spec := fmt.Sprintf("engine=%d objective=%g,%g,%g budget=%d cap=%t rotations=%t strategies=%s",
+		ArtifactVersion, cfg.Objective.Alpha, cfg.Objective.Beta, cfg.Objective.Gamma,
 		cfg.Budget, cfg.CapDilation, cfg.Rotations, strings.Join(names, "+"))
+	if cfg.Anneal {
+		steps := cfg.AnnealSteps
+		if steps <= 0 {
+			steps = DefaultAnnealSteps
+		}
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = DefaultAnnealSeed
+		}
+		spec += fmt.Sprintf(" anneal=%d seed=%d", steps, seed)
+	}
+	return spec
 }
 
 // Candidate is one fully scored placement candidate: the symmetry
 // variant that produced it and its measured costs.
 type Candidate struct {
 	// Index is the candidate's position in the deterministic
-	// enumeration (0 is the baseline); it breaks score ties.
+	// enumeration (0 is the baseline); annealed candidates extend the
+	// enumeration past the last constructed variant. It breaks score
+	// ties.
 	Index int `json:"index"`
-	// Strategy is the name of the base construction strategy.
+	// Strategy is the name of the base construction strategy ("anneal"
+	// for annealed candidates).
 	Strategy string `json:"strategy"`
 	// GuestPerm/HostPerm are the axis permutations applied around the
 	// base construction (absent = identity).
@@ -249,6 +322,13 @@ type Candidate struct {
 	// none).
 	GuestRot []int `json:"guest_rot,omitempty"`
 	HostRot  []int `json:"host_rot,omitempty"`
+	// MidRot is the per-axis rotation of the strategy's intermediate
+	// stage (absent = none).
+	MidRot []int `json:"mid_rot,omitempty"`
+	// Annealed marks a candidate produced by the annealing refinement
+	// pass; AnnealedFrom is the index of the front member it refined.
+	Annealed     bool `json:"annealed,omitempty"`
+	AnnealedFrom int  `json:"annealed_from,omitempty"`
 	// EmbedStrategy names the construction chain of the composite
 	// embedding.
 	EmbedStrategy string `json:"embed_strategy"`
@@ -279,7 +359,89 @@ func (c Candidate) Desc() string {
 	if len(c.HostRot) > 0 {
 		s += fmt.Sprintf(" hrot=%v", c.HostRot)
 	}
+	if len(c.MidRot) > 0 {
+		s += fmt.Sprintf(" midrot=%v", c.MidRot)
+	}
+	if c.Annealed {
+		s += fmt.Sprintf(" from=%d", c.AnnealedFrom)
+	}
 	return s
+}
+
+// dominatesTriple is the single home of the Pareto dominance rule on
+// the (dilation, peak, avg-link) cost triple: no coordinate worse, at
+// least one strictly better. Candidate dominance and the annealing
+// pass's tableCosts dominance are both defined through it, so the rule
+// cannot drift between front membership and annealing admission.
+func dominatesTriple(aDil, aPeak int, aAvg float64, bDil, bPeak int, bAvg float64) bool {
+	if aDil > bDil || aPeak > bPeak || aAvg > bAvg {
+		return false
+	}
+	return aDil < bDil || aPeak < bPeak || aAvg < bAvg
+}
+
+// dominates reports whether a Pareto-dominates b on (dilation, peak,
+// avg-link).
+func dominates(a, b Candidate) bool {
+	return dominatesTriple(a.Dilation, a.Peak, a.AvgLink, b.Dilation, b.Peak, b.AvgLink)
+}
+
+// sameCosts reports whether two candidates carry identical cost
+// vectors.
+func sameCosts(a, b Candidate) bool {
+	return a.Dilation == b.Dilation && a.Peak == b.Peak && a.AvgLink == b.AvgLink
+}
+
+// paretoFront filters the scored candidates to their non-dominated
+// subset. Identical cost vectors are represented by the lowest index,
+// and the result is sorted by (dilation, peak, avg-link, index) — the
+// deterministic artifact order. The input is not modified.
+func paretoFront(scored []Candidate) []Candidate {
+	var front []Candidate
+	for _, c := range scored {
+		keep := true
+		for _, o := range scored {
+			if o.Index == c.Index {
+				continue
+			}
+			if dominates(o, c) || (sameCosts(o, c) && o.Index < c.Index) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.Dilation != b.Dilation {
+			return a.Dilation < b.Dilation
+		}
+		if a.Peak != b.Peak {
+			return a.Peak < b.Peak
+		}
+		if a.AvgLink != b.AvgLink {
+			return a.AvgLink < b.AvgLink
+		}
+		return a.Index < b.Index
+	})
+	return front
+}
+
+// bestOf returns the front member minimizing the objective, ties to the
+// lowest index. Weak dominance implies a score no worse under
+// non-negative weights, so the front's minimum equals the minimum over
+// every scored candidate — deriving the winner from the front loses
+// nothing.
+func bestOf(front []Candidate) Candidate {
+	best := front[0]
+	for _, c := range front[1:] {
+		if c.Score < best.Score || (c.Score == best.Score && c.Index < best.Index) {
+			best = c
+		}
+	}
+	return best
 }
 
 // Result is the (serializable) outcome of one search. Every serialized
@@ -305,13 +467,28 @@ type Result struct {
 	Unbuildable int `json:"unbuildable"`
 	Invalid     int `json:"invalid"`
 	Capped      int `json:"capped"`
+	// Annealed counts the annealing refinement runs; AnnealWins counts
+	// the annealed members of the final front — refined placements that
+	// strictly dominated their seed and survived the front's dedup.
+	// Both are zero without Config.Anneal (or for pairs above
+	// AnnealMaxNodes) and deterministic with it.
+	Annealed   int `json:"annealed,omitempty"`
+	AnnealWins int `json:"anneal_wins,omitempty"`
+	// Seed is the effective annealing seed (0 without annealing).
+	Seed int64 `json:"seed,omitempty"`
 	// Baseline is the paper pick (first strategy, identity symmetries),
-	// always fully scored; Best is the objective winner.
+	// always fully scored; Best is the objective winner, always a
+	// member of Front.
 	Baseline Candidate `json:"baseline"`
 	Best     Candidate `json:"best"`
+	// Front is the Pareto front: every scored candidate not dominated
+	// by another on (dilation, peak, avg-link), sorted by those costs.
+	// It always holds at least one member (the winner), and is
+	// independent of scheduling and GOMAXPROCS.
+	Front []Candidate `json:"front"`
 
 	// Pruned counts candidates whose congestion scoring was skipped
-	// because their dilation-only bound already lost to the incumbent.
+	// because their best conceivable cost vector was already dominated.
 	// It depends on worker scheduling and is excluded from the
 	// artifact, like Elapsed.
 	Pruned  int           `json:"-"`
@@ -326,7 +503,7 @@ type Result struct {
 func (r *Result) Improved() bool { return r.Best.Score < r.Baseline.Score }
 
 // searcher carries the immutable per-search state the candidate workers
-// share.
+// share, plus the construction caches.
 type searcher struct {
 	cfg     *Config
 	tg      *taskgraph.Graph    // guest edge list, routed through the host
@@ -334,6 +511,29 @@ type searcher struct {
 	rd      *grid.RankDistancer // compiled host distance
 	cap     int                 // dilation cap (0 = none)
 	scratch sync.Pool           // *measureBufs
+
+	// bases caches the construction half of variants (buildBase) per
+	// baseKey; posts caches the host-side relabeling tables per
+	// (hperm, hrot). Both are filled lazily under concurrent access.
+	baseMu sync.Mutex
+	bases  map[string]*baseEntry
+	postMu sync.Mutex
+	posts  map[string]*postEntry
+}
+
+// baseEntry is one lazily built shared base construction.
+type baseEntry struct {
+	once sync.Once
+	e    *embed.Embedding
+	err  error
+}
+
+// postEntry is one lazily built host-side relabeling table.
+type postEntry struct {
+	once sync.Once
+	t    embed.Table
+	name string
+	err  error
 }
 
 // measureBufs is the per-worker scratch of the candidate pipeline: the
@@ -346,10 +546,12 @@ type measureBufs struct {
 
 func newSearcher(cfg *Config) *searcher {
 	s := &searcher{
-		cfg: cfg,
-		tg:  taskgraph.FromSpec(cfg.Guest),
-		nw:  netsim.New(cfg.Host),
-		rd:  cfg.Host.NewRankDistancer(),
+		cfg:   cfg,
+		tg:    taskgraph.FromSpec(cfg.Guest),
+		nw:    netsim.New(cfg.Host),
+		rd:    cfg.Host.NewRankDistancer(),
+		bases: map[string]*baseEntry{},
+		posts: map[string]*postEntry{},
 	}
 	// Materialized (division-free) decode only pays off on the table
 	// fast path, which kernels take when the guest is at or below the
@@ -368,6 +570,51 @@ func newSearcher(cfg *Config) *searcher {
 		}
 	}
 	return s
+}
+
+// build constructs a variant's composite embedding through the caches:
+// the base construction is built (and its kernel materialized) at most
+// once per baseKey, and host-side symmetries are post-composed as one
+// table fusion. Produces embeddings rank-identical to buildVariant.
+func (s *searcher) build(v variantSpec) (*embed.Embedding, error) {
+	hp := permutedHost(s.cfg.Host, v.hperm)
+	key := v.baseKey(hp)
+	s.baseMu.Lock()
+	be := s.bases[key]
+	if be == nil {
+		be = &baseEntry{}
+		s.bases[key] = be
+	}
+	s.baseMu.Unlock()
+	be.once.Do(func() { be.e, be.err = buildBase(s.cfg, v, hp) })
+	if be.err != nil {
+		return nil, be.err
+	}
+	if v.hperm == nil && v.hrot == nil {
+		return be.e, nil
+	}
+	post, err := s.post(v)
+	if err != nil {
+		return nil, err
+	}
+	return embed.PostCompose(be.e, s.cfg.Host, be.e.Strategy+" ∘ "+post.name, 0, post.t)
+}
+
+// post returns the cached host-side relabeling of a variant.
+func (s *searcher) post(v variantSpec) (*postEntry, error) {
+	key := fmt.Sprintf("%v|%v", v.hperm, v.hrot)
+	s.postMu.Lock()
+	pe := s.posts[key]
+	if pe == nil {
+		pe = &postEntry{}
+		s.posts[key] = pe
+	}
+	s.postMu.Unlock()
+	pe.once.Do(func() { pe.t, pe.name, pe.err = postParts(s.cfg, v) })
+	if pe.err != nil {
+		return nil, pe.err
+	}
+	return pe, nil
 }
 
 // validate rejects malformed candidate embeddings — an image out of the
@@ -436,31 +683,44 @@ func (s *searcher) score(idx int, v variantSpec, e *embed.Embedding, dil int, av
 	return c, nil
 }
 
-// incumbent is the best fully scored candidate so far; ties go to the
-// lowest index, so earlier tiers (and the baseline above all) win draws.
-type incumbent struct {
-	mu   sync.Mutex
-	cand Candidate
+// unitFloor tracks the lowest dilation among fully scored candidates
+// that hit the congestion floor (peak 1, avg-link <= 1). A candidate
+// whose dilation strictly exceeds that floor is Pareto-dominated by it
+// — every reachable vector (d, >=1, >=1) loses on dilation and cannot
+// improve on peak or avg-link — so its congestion pass is skipped.
+// Pruning is strict on dilation, which keeps the front independent of
+// scheduling: the floor candidate itself can never be pruned, so a
+// candidate pruned under one schedule is dominated under every
+// schedule.
+type unitFloor struct {
+	mu  sync.Mutex
+	dil int
+	ok  bool
 }
 
-func (in *incumbent) bound() float64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.cand.Score
-}
-
-func (in *incumbent) offer(c Candidate) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if c.Score < in.cand.Score || (c.Score == in.cand.Score && c.Index < in.cand.Index) {
-		in.cand = c
+func (u *unitFloor) observe(c Candidate) {
+	if c.Peak != 1 || c.AvgLink > 1 {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !u.ok || c.Dilation < u.dil {
+		u.dil, u.ok = c.Dilation, true
 	}
 }
 
+func (u *unitFloor) prunes(dil int) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.ok && u.dil < dil
+}
+
 // Search enumerates the candidate space of the config's pair, scores
-// candidates concurrently with early pruning, and returns the
-// deterministic best next to the paper baseline. It fails when the pair
-// is invalid or the baseline strategy cannot embed it.
+// candidates concurrently with Pareto-safe pruning, optionally refines
+// the front by simulated annealing, and returns the deterministic
+// Pareto front with the scalarized winner next to the paper baseline.
+// It fails when the pair is invalid or the baseline strategy cannot
+// embed it.
 func Search(cfg Config) (*Result, error) {
 	start := time.Now()
 	if err := cfg.validate(); err != nil {
@@ -469,7 +729,7 @@ func Search(cfg Config) (*Result, error) {
 	variants, space := enumerate(&cfg)
 	s := newSearcher(&cfg)
 
-	base, err := buildVariant(&cfg, variants[0])
+	base, err := s.build(variants[0])
 	if err != nil {
 		return nil, fmt.Errorf("place: baseline strategy %s failed for %s -> %s: %v",
 			cfg.Strategies[0].Name, cfg.Guest, cfg.Host, err)
@@ -486,7 +746,10 @@ func Search(cfg Config) (*Result, error) {
 		s.cap = baseline.Dilation
 	}
 
-	inc := &incumbent{cand: baseline}
+	floor := &unitFloor{}
+	floor.observe(baseline)
+	scored := make([]Candidate, 1, len(variants))
+	scored[0] = baseline
 	var mu sync.Mutex
 	unbuildable, invalid, capped, pruned := 0, 0, 0, 0
 	var firstErr error
@@ -494,7 +757,7 @@ func Search(cfg Config) (*Result, error) {
 		for k := lo; k < hi; k++ {
 			idx := k + 1
 			v := variants[idx]
-			e, err := buildVariant(&cfg, v)
+			e, err := s.build(v)
 			if err != nil {
 				mu.Lock()
 				unbuildable++
@@ -516,11 +779,10 @@ func Search(cfg Config) (*Result, error) {
 				mu.Unlock()
 				continue
 			}
-			// A candidate whose cheapest possible score is already
-			// strictly worse than the incumbent cannot win or tie; skip
-			// the routing pass. Strictness keeps the winner independent
-			// of scheduling.
-			if cfg.Objective.lowerBound(dil) > inc.bound() {
+			// A candidate whose best conceivable vector (dil, 1, 1) is
+			// already strictly dominated can neither join the front nor
+			// win; skip the routing pass.
+			if floor.prunes(dil) {
 				mu.Lock()
 				pruned++
 				mu.Unlock()
@@ -535,12 +797,19 @@ func Search(cfg Config) (*Result, error) {
 				mu.Unlock()
 				continue
 			}
-			inc.offer(c)
+			floor.observe(c)
+			mu.Lock()
+			scored = append(scored, c)
+			mu.Unlock()
 		}
 	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// The front is computed over an index-sorted copy so it (and every
+	// tie-break inside it) is independent of completion order.
+	sort.Slice(scored, func(i, j int) bool { return scored[i].Index < scored[j].Index })
+	front := paretoFront(scored)
 
 	res := &Result{
 		Version:     ArtifactVersion,
@@ -555,12 +824,27 @@ func Search(cfg Config) (*Result, error) {
 		Invalid:     invalid,
 		Capped:      capped,
 		Baseline:    baseline,
-		Best:        inc.cand,
 		Pruned:      pruned,
 	}
+
+	annealTables := map[int]embed.Table{}
+	if cfg.Anneal {
+		res.Seed = cfg.Seed
+		front, err = s.annealFront(variants, front, res, annealTables)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Front = front
+	res.Best = bestOf(front)
+
 	best := base
 	if res.Best.Index != 0 {
-		best, err = buildVariant(&cfg, variants[res.Best.Index])
+		if t, ok := annealTables[res.Best.Index]; ok {
+			best, err = embed.FromTable(cfg.Guest, cfg.Host, res.Best.EmbedStrategy, 0, t)
+		} else {
+			best, err = s.build(variants[res.Best.Index])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("place: rebuilding winner %d: %v", res.Best.Index, err)
 		}

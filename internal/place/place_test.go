@@ -3,6 +3,7 @@ package place
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"torusmesh/internal/core"
@@ -405,6 +406,352 @@ func TestBrokenStrategyIsDiscarded(t *testing.T) {
 		}
 		if err := res.BestEmbedding.Verify(); err != nil {
 			t.Errorf("%s: winner does not verify: %v", name, err)
+		}
+	}
+}
+
+// TestParetoFront pins the acceptance pair torus(12x3) -> torus(9x4):
+// the front must hold at least two mutually non-dominated embeddings,
+// the scalarized winner must be a member of the front, and the front
+// must be sorted by cost.
+func TestParetoFront(t *testing.T) {
+	res, err := Search(Config{
+		Guest:       grid.TorusSpec(12, 3),
+		Host:        grid.TorusSpec(9, 4),
+		CapDilation: true,
+		Rotations:   true,
+		Budget:      96,
+		Strategies:  DefaultStrategies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) < 2 {
+		t.Fatalf("front has %d member(s), want >= 2: %+v", len(res.Front), res.Front)
+	}
+	for i, a := range res.Front {
+		for j, b := range res.Front {
+			if i == j {
+				continue
+			}
+			if dominates(a, b) {
+				t.Errorf("front member %d (d%d p%d a%g) dominates member %d (d%d p%d a%g)",
+					a.Index, a.Dilation, a.Peak, a.AvgLink, b.Index, b.Dilation, b.Peak, b.AvgLink)
+			}
+			if sameCosts(a, b) {
+				t.Errorf("front members %d and %d carry identical cost vectors", a.Index, b.Index)
+			}
+		}
+		if i > 0 {
+			p := res.Front[i-1]
+			if a.Dilation < p.Dilation {
+				t.Errorf("front not sorted by dilation at %d", i)
+			}
+		}
+	}
+	member := false
+	for _, c := range res.Front {
+		if c.Index == res.Best.Index {
+			if !sameCosts(c, res.Best) {
+				t.Errorf("best diverges from its front entry: %+v vs %+v", res.Best, c)
+			}
+			member = true
+		}
+	}
+	if !member {
+		t.Errorf("best (index %d) is not a member of the front", res.Best.Index)
+	}
+	// The winner's score is the minimum over the front, ties to the
+	// lowest index.
+	for _, c := range res.Front {
+		if c.Score < res.Best.Score || (c.Score == res.Best.Score && c.Index < res.Best.Index) {
+			t.Errorf("front member %d (score %g) beats the reported best %d (score %g)",
+				c.Index, c.Score, res.Best.Index, res.Best.Score)
+		}
+	}
+}
+
+// TestFrontDeterministic: the front (and hence the artifact) must be
+// bit-identical across repeated runs and across GOMAXPROCS settings,
+// even though scoring and pruning are scheduled concurrently.
+func TestFrontDeterministic(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.MeshSpec(6, 4),
+		Host:       grid.MeshSpec(8, 3),
+		Rotations:  true,
+		Anneal:     true,
+		Budget:     64,
+		Strategies: DefaultStrategies(),
+	}
+	encode := func() []byte {
+		res, err := Search(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.EncodeBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := encode()
+	for i := 0; i < 2; i++ {
+		if got := encode(); !bytes.Equal(first, got) {
+			t.Fatalf("run %d produced a different artifact:\n%s\nvs\n%s", i, first, got)
+		}
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if got := encode(); !bytes.Equal(first, got) {
+		t.Fatalf("GOMAXPROCS=1 produced a different artifact:\n%s\nvs\n%s", first, got)
+	}
+	runtime.GOMAXPROCS(2)
+	if got := encode(); !bytes.Equal(first, got) {
+		t.Fatalf("GOMAXPROCS=2 produced a different artifact:\n%s\nvs\n%s", first, got)
+	}
+}
+
+// TestCachedBuildMatchesReference: the searcher's cached build path —
+// one base construction per key, host symmetries post-composed as
+// table fusions — must produce embeddings rank-identical to the
+// uncached reference builder for every variant of a pair.
+func TestCachedBuildMatchesReference(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.TorusSpec(8, 2),
+		Host:       grid.MeshSpec(4, 4),
+		Rotations:  true,
+		Budget:     1 << 20,
+		Strategies: DefaultStrategies(),
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := enumerate(&cfg)
+	s := newSearcher(&cfg)
+	built := 0
+	for _, v := range vs {
+		want, refErr := buildVariant(&cfg, v)
+		got, cacheErr := s.build(v)
+		if (refErr == nil) != (cacheErr == nil) {
+			t.Fatalf("%s: reference err %v, cached err %v", v.key(), refErr, cacheErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		wt, gt := want.Table(), got.Table()
+		for i := range wt {
+			if wt[i] != gt[i] {
+				t.Fatalf("%s: cached table diverges at %d: %d vs %d", v.key(), i, gt[i], wt[i])
+			}
+		}
+		if want.Strategy != got.Strategy {
+			t.Errorf("%s: strategy chain %q vs %q", v.key(), got.Strategy, want.Strategy)
+		}
+		built++
+	}
+	if built < 10 {
+		t.Fatalf("only %d variants were buildable", built)
+	}
+	// The cache must actually share constructions: the 4x4 host's full
+	// permutation group targets one permuted shape per guest variant,
+	// so there are far fewer bases than variants.
+	if len(s.bases) >= built {
+		t.Errorf("cache held %d bases for %d built variants — no sharing", len(s.bases), built)
+	}
+}
+
+// TestMidRotCandidates: the intermediate-rotation generator enumerates
+// genuinely new prime-refinement embeddings, and they are buildable,
+// valid candidates.
+func TestMidRotCandidates(t *testing.T) {
+	cfg := Config{
+		Guest:      grid.TorusSpec(8, 2),
+		Host:       grid.MeshSpec(4, 4),
+		Budget:     1 << 20,
+		Strategies: DefaultStrategies(),
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	vs, space := enumerate(&cfg)
+	if len(vs) != space {
+		t.Fatalf("exhaustive enumeration %d disagrees with space %d", len(vs), space)
+	}
+	plain, err := buildVariant(&cfg, variantSpec{strategy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainT := plain.Table()
+	s := newSearcher(&cfg)
+	seen, fresh := 0, 0
+	for _, v := range vs {
+		if v.midrot == nil {
+			continue
+		}
+		seen++
+		e, err := s.build(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v.key(), err)
+		}
+		if err := s.validate(e); err != nil {
+			t.Fatalf("%s: %v", v.key(), err)
+		}
+		for i, r := range e.Table() {
+			if r != plainT[i] {
+				fresh++
+				break
+			}
+		}
+	}
+	// The all-primes intermediate of 16 is 2x2x2x2: one unit rotation
+	// per axis for the primes strategy, none for the paper strategy.
+	if seen != 4 {
+		t.Errorf("enumerated %d mid-rotation variants, want 4", seen)
+	}
+	if fresh == 0 {
+		t.Error("no mid-rotation produced a new embedding")
+	}
+}
+
+// TestAnnealDominatesSeed: annealed candidates are admitted only when
+// they strictly dominate their seed — so the pass can never emit a
+// point its seed dominates, and a deliberately bad baseline must be
+// strictly improved on every cost.
+func TestAnnealDominatesSeed(t *testing.T) {
+	g, h := grid.RingSpec(16), grid.TorusSpec(4, 4)
+	n := g.Size()
+	tab := make([]int, n)
+	for i := range tab {
+		tab[i] = (i * 5) % n // a congestion-hostile bijection
+	}
+	scramble := func(gs, hs grid.Spec) (*embed.Embedding, error) {
+		if !gs.Shape.Equal(g.Shape) || !hs.Shape.Equal(h.Shape) {
+			return nil, fmt.Errorf("scramble only handles the base pair")
+		}
+		return embed.FromTable(gs, hs, "scramble", 0, tab)
+	}
+	res, err := Search(Config{
+		Guest:      g,
+		Host:       h,
+		Anneal:     true,
+		Budget:     8,
+		Strategies: []Strategy{{Name: "scramble", Embed: scramble}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annealed == 0 {
+		t.Fatal("no annealing runs on a small pair with Anneal set")
+	}
+	if res.AnnealWins == 0 {
+		t.Fatalf("annealing failed to dominate a scrambled ring placement (baseline d%d p%d)",
+			res.Baseline.Dilation, res.Baseline.Peak)
+	}
+	byIndex := map[int]Candidate{res.Baseline.Index: res.Baseline}
+	for _, c := range res.Front {
+		byIndex[c.Index] = c
+	}
+	for _, c := range res.Front {
+		if !c.Annealed {
+			continue
+		}
+		seed, ok := byIndex[c.AnnealedFrom]
+		if ok && dominates(seed, c) {
+			t.Errorf("annealed candidate %d is dominated by its seed %d", c.Index, c.AnnealedFrom)
+		}
+		if c.Dilation > res.Baseline.Dilation || c.Peak > res.Baseline.Peak {
+			t.Errorf("annealed candidate %d (d%d p%d) worse than its scrambled baseline (d%d p%d)",
+				c.Index, c.Dilation, c.Peak, res.Baseline.Dilation, res.Baseline.Peak)
+		}
+	}
+	if res.BestEmbedding == nil {
+		t.Fatal("missing BestEmbedding")
+	}
+	if err := res.BestEmbedding.Verify(); err != nil {
+		t.Fatalf("annealed winner does not verify: %v", err)
+	}
+	if d := res.BestEmbedding.DilationPerNode(); d != res.Best.Dilation {
+		t.Errorf("reported dilation %d, embedding measures %d", res.Best.Dilation, d)
+	}
+	// The annealing pass is deterministic: same config, same bytes.
+	again, err := Search(Config{
+		Guest:      g,
+		Host:       h,
+		Anneal:     true,
+		Budget:     8,
+		Strategies: []Strategy{{Name: "scramble", Embed: scramble}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := again.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("annealing is not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	// A different seed is a different (still deterministic) search and
+	// is recorded in the artifact.
+	if res.Seed == 0 {
+		t.Error("effective seed not recorded")
+	}
+}
+
+// TestAnnealDominatingTie: the annealing best-visited tracker must
+// advance on Pareto dominance at a tied score — a zero-weighted cost
+// (avg-link under the default objective) ties the score but still
+// dominates, and the admission gate accepts exactly that — and the
+// pass must win under an objective that zero-weights the costs it
+// improves.
+func TestAnnealDominatingTie(t *testing.T) {
+	a := tableCosts{dil: 3, peak: 2, avgLink: 1.5, score: 5}
+	b := tableCosts{dil: 3, peak: 2, avgLink: 1.2, score: 5} // same score, better avg-link
+	if !b.dominatesCosts(a) {
+		t.Error("a dominating tie was not recognized")
+	}
+	if a.dominatesCosts(b) || a.dominatesCosts(a) {
+		t.Error("dominance is not strict")
+	}
+	worse := tableCosts{dil: 2, peak: 3, avgLink: 1.2, score: 5}
+	if worse.dominatesCosts(a) || a.dominatesCosts(worse) {
+		t.Error("incomparable vectors reported as dominated")
+	}
+	// Peak-only objective: dilation and avg-link are zero-weighted, so
+	// annealing wins must be possible regardless.
+	g, h := grid.RingSpec(16), grid.TorusSpec(4, 4)
+	n := g.Size()
+	tab := make([]int, n)
+	for i := range tab {
+		tab[i] = (i * 5) % n
+	}
+	scramble := func(gs, hs grid.Spec) (*embed.Embedding, error) {
+		if !gs.Shape.Equal(g.Shape) || !hs.Shape.Equal(h.Shape) {
+			return nil, fmt.Errorf("scramble only handles the base pair")
+		}
+		return embed.FromTable(gs, hs, "scramble", 0, tab)
+	}
+	res, err := Search(Config{
+		Guest:      g,
+		Host:       h,
+		Anneal:     true,
+		Budget:     4,
+		Objective:  Objective{Beta: 1},
+		Strategies: []Strategy{{Name: "scramble", Embed: scramble}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnnealWins == 0 {
+		t.Error("annealing failed to win under a peak-only objective")
+	}
+	for _, c := range res.Front {
+		if c.Annealed && dominates(res.Baseline, c) {
+			t.Errorf("annealed front member %d dominated by the baseline", c.Index)
 		}
 	}
 }

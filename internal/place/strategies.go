@@ -1,17 +1,35 @@
 package place
 
-import "torusmesh/internal/core"
+import (
+	"torusmesh/internal/core"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+)
 
 // DefaultStrategies is the canonical base-construction list shared by
 // cmd/place, `sweep -place` and the torusmesh.Place veneer, so all
 // three search the same candidate space for a pair: the paper
 // dispatcher's pick, and the always-applicable all-primes refinement,
 // whose different spread of guest edges across host dimensions often
-// wins on congestion. Strategies stay injectable (Config.Strategies)
-// for callers that want a different space.
+// wins on congestion. The refinement additionally exposes its
+// all-primes intermediate stage, so the search enumerates rotated
+// intermediates (core.EmbedViaPrimesMid) — genuinely new embeddings,
+// not symmetry variants of old ones. Strategies stay injectable
+// (Config.Strategies) for callers that want a different space.
 func DefaultStrategies() []Strategy {
 	return []Strategy{
 		{Name: "paper", Embed: core.Embed},
-		{Name: "primes", Embed: core.EmbedViaPrimes},
+		{
+			Name:  "primes",
+			Embed: core.EmbedViaPrimes,
+			Mid: func(g, h grid.Spec) (grid.Spec, bool) {
+				return core.PrimeIntermediate(g, h), true
+			},
+			EmbedMidRot: func(g, h grid.Spec, rot []int) (*embed.Embedding, error) {
+				return core.EmbedViaPrimesMid(g, h, func(mid grid.Spec) (*embed.Embedding, error) {
+					return embed.Rotate(mid, rot)
+				})
+			},
+		},
 	}
 }

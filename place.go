@@ -32,6 +32,14 @@ type PlacementOptions struct {
 	// Rotations includes digit-rotation candidates (mesh sides only;
 	// torus rotations are metric-invariant automorphisms).
 	Rotations bool
+	// Anneal refines the Pareto front of small pairs by a seeded,
+	// deterministic simulated-annealing pass over node-swap moves; a
+	// refined placement joins the front only when it strictly dominates
+	// its seed.
+	Anneal bool
+	// Seed seeds the annealing RNG (0: a fixed default). Equal options
+	// — seed included — produce identical results.
+	Seed int64
 }
 
 // DefaultPlacementOptions caps dilation at the baseline's and enables
@@ -41,18 +49,21 @@ func DefaultPlacementOptions() PlacementOptions {
 }
 
 // Place searches for a congestion-aware placement of g on h: candidate
-// embeddings (the paper's construction and the all-primes refinement,
-// composed with axis permutations and digit rotations) are scored on
-// dilation and netsim link congestion, and the best is returned next to
-// the paper baseline. The winner never dilates worse than the baseline
+// embeddings (the paper's construction and the all-primes refinement —
+// including rotations of its intermediate stage — composed with axis
+// permutations and digit rotations) are scored on dilation and netsim
+// link congestion. The result carries the full Pareto front over
+// (dilation, peak, avg-link) in Result.Front, with the objective's
+// winner — always a front member — returned next to the paper
+// baseline. The winner never dilates worse than the baseline
 // (DefaultPlacementOptions caps dilation); use PlaceWith to trade
-// differently.
+// differently or to enable the annealing refinement.
 func Place(g, h Spec) (*PlacementResult, error) {
 	return PlaceWith(g, h, DefaultPlacementOptions())
 }
 
-// PlaceWith is Place with explicit objective, budget and generator
-// options.
+// PlaceWith is Place with explicit objective, budget, generator and
+// annealing options.
 func PlaceWith(g, h Spec, opts PlacementOptions) (*PlacementResult, error) {
 	return place.Search(place.Config{
 		Guest:       g,
@@ -61,6 +72,8 @@ func PlaceWith(g, h Spec, opts PlacementOptions) (*PlacementResult, error) {
 		Budget:      opts.Budget,
 		CapDilation: opts.CapDilation,
 		Rotations:   opts.Rotations,
+		Anneal:      opts.Anneal,
+		Seed:        opts.Seed,
 		Strategies:  place.DefaultStrategies(),
 	})
 }
