@@ -25,9 +25,11 @@
 // the baseline's are discarded, so the winner trades congestion at
 // equal or better dilation. -pareto prints the full non-dominated set
 // (it is always part of the JSON artifact). -anneal adds a seeded,
-// deterministic simulated-annealing refinement over node-swap moves
-// for small pairs; -seed picks the RNG seed (same seed, same artifact)
-// and -anneal-steps the per-run move budget.
+// deterministic simulated-annealing refinement, evaluated
+// incrementally so it scales to pairs of any size; -seed picks the RNG
+// seed (same seed, same artifact), -anneal-steps the per-run move
+// budget, and -anneal-moves the repertoire ("swap" for node swaps
+// only, "all" to mix in segment reversals and axis-plane swaps).
 //
 // Exit codes: 0 = success; 1 = internal inconsistency (the search
 // returned a winner worse than its own baseline — a library bug);
@@ -57,8 +59,9 @@ func main() {
 	cap := flag.Bool("cap", true, "discard candidates dilating worse than the baseline")
 	rotations := flag.Bool("rotations", true, "include digit-rotation candidates (mesh sides)")
 	pareto := flag.Bool("pareto", false, "render the full Pareto front, not just baseline and winner")
-	anneal := flag.Bool("anneal", false, "refine the front by seeded simulated annealing (small pairs)")
-	annealSteps := flag.Int("anneal-steps", 0, "node-swap budget per annealing run (0 = default)")
+	anneal := flag.Bool("anneal", false, "refine the front by seeded simulated annealing")
+	annealSteps := flag.Int("anneal-steps", 0, "move budget per annealing run (0 = default)")
+	annealMoves := flag.String("anneal-moves", "", "annealing move repertoire: swap (default) or all")
 	seed := flag.Int64("seed", 0, "annealing RNG seed (0 = default); same seed, same artifact")
 	jsonOut := flag.String("json", "", "write the search artifact to this file")
 	timing := flag.Bool("time", false, "report the wall time of the search")
@@ -67,10 +70,10 @@ func main() {
 	if *guest == "" || *host == "" {
 		fatalf("place: both -from and -to are required")
 	}
-	if !*anneal && (*annealSteps != 0 || *seed != 0) {
+	if !*anneal && (*annealSteps != 0 || *seed != 0 || *annealMoves != "") {
 		// Silently ignoring these would let a user believe the seed
 		// shaped the result.
-		fatalf("place: -seed and -anneal-steps require -anneal")
+		fatalf("place: -seed, -anneal-steps and -anneal-moves require -anneal")
 	}
 	g, err := grid.ParseSpec(*guest)
 	if err != nil {
@@ -94,6 +97,7 @@ func main() {
 		Rotations:   *rotations,
 		Anneal:      *anneal,
 		AnnealSteps: *annealSteps,
+		AnnealMoves: *annealMoves,
 		Seed:        *seed,
 		Strategies:  place.DefaultStrategies(),
 	})
@@ -131,6 +135,9 @@ func report(res *place.Result, pareto bool) {
 	}
 	if res.Annealed > 0 {
 		fmt.Printf(", %d annealing run(s), %d win(s)", res.Annealed, res.AnnealWins)
+		if res.AnnealSeedsSkipped > 0 {
+			fmt.Printf(", %d seed(s) beyond the cap", res.AnnealSeedsSkipped)
+		}
 	}
 	fmt.Println()
 	line := func(label string, c place.Candidate) {

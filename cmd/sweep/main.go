@@ -77,6 +77,7 @@ func main() {
 	placeBudget := flag.Int("place-budget", 32, "candidate budget of each per-pair placement search")
 	placeObjective := flag.String("place-objective", "1,1,0", "placement objective weights α,β,γ")
 	placeAnneal := flag.Bool("place-anneal", false, "refine each pair's placement front by seeded simulated annealing")
+	placeAnnealMoves := flag.String("place-anneal-moves", "", "annealing move repertoire of the placement searches: swap (default) or all")
 	placeSeed := flag.Int64("place-seed", 0, "annealing RNG seed of the placement searches (0 = default)")
 	jsonOut := flag.String("json", "", "write the census artifact to this file")
 	ndjsonOut := flag.String("ndjson", "", "write the census as an NDJSON stream artifact to this file")
@@ -140,14 +141,15 @@ func main() {
 			CapDilation: true,
 			Rotations:   true,
 			Anneal:      *placeAnneal,
+			AnnealMoves: *placeAnnealMoves,
 			Seed:        *placeSeed,
 			Strategies:  place.DefaultStrategies(),
 		})
-	} else if *placeAnneal || *placeSeed != 0 {
-		fatalf("sweep: -place-anneal and -place-seed require -place")
+	} else if *placeAnneal || *placeSeed != 0 || *placeAnnealMoves != "" {
+		fatalf("sweep: -place-anneal, -place-anneal-moves and -place-seed require -place")
 	}
-	if *doPlace && !*placeAnneal && *placeSeed != 0 {
-		fatalf("sweep: -place-seed requires -place-anneal")
+	if *doPlace && !*placeAnneal && (*placeSeed != 0 || *placeAnnealMoves != "") {
+		fatalf("sweep: -place-seed and -place-anneal-moves require -place-anneal")
 	}
 	if *worker {
 		runWorker(cfg, *resume, *workerAbort)

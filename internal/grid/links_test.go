@@ -1,0 +1,36 @@
+package grid
+
+import "testing"
+
+// TestLinkRankerDense: ranks are unique over every (node, dim, dir)
+// triple, stay inside Slots, and Unrank inverts Rank.
+func TestLinkRankerDense(t *testing.T) {
+	for _, sp := range []Spec{TorusSpec(4, 3), MeshSpec(2, 5, 3), RingSpec(7)} {
+		lr := sp.NewLinkRanker()
+		n := sp.Size()
+		seen := make([]bool, lr.Slots(n))
+		for from := 0; from < n; from++ {
+			for dim := 0; dim < sp.Dim(); dim++ {
+				for _, neg := range []bool{false, true} {
+					r := lr.Rank(from, dim, neg)
+					if r < 0 || r >= len(seen) {
+						t.Fatalf("%s: rank(%d,%d,%t) = %d out of [0,%d)", sp, from, dim, neg, r, len(seen))
+					}
+					if seen[r] {
+						t.Fatalf("%s: rank %d assigned twice", sp, r)
+					}
+					seen[r] = true
+					gf, gd, gn := lr.Unrank(r)
+					if gf != from || gd != dim || gn != neg {
+						t.Fatalf("%s: unrank(%d) = (%d,%d,%t), want (%d,%d,%t)", sp, r, gf, gd, gn, from, dim, neg)
+					}
+				}
+			}
+		}
+		for r, ok := range seen {
+			if !ok {
+				t.Fatalf("%s: slot %d never ranked — the index is not dense", sp, r)
+			}
+		}
+	}
+}

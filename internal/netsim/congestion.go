@@ -37,10 +37,13 @@ func (s CongestionStats) AvgLink() float64 {
 }
 
 // Congestion computes static congestion of a placement: every task edge
-// contributes its two directed routes. Edges are striped across workers
-// that accumulate per-worker link loads, merged at the end — the
-// parallel half of the batch measurement pipeline (Dilation being the
-// other half).
+// contributes its two directed routes. Loads accumulate in dense
+// per-directed-link arrays indexed by link rank (grid.LinkRanker) — a
+// flat int32 slice per worker, merged by index — instead of hash maps,
+// so the batch measurement path allocates a couple of slabs per call
+// and the inner loop is an array increment. Edges are striped across
+// workers on the internal/par pool; int32 merges commute, so the stats
+// are independent of scheduling.
 func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats, error) {
 	if err := tg.Validate(); err != nil {
 		return CongestionStats{}, err
@@ -48,35 +51,47 @@ func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats,
 	if err := p.Validate(nw, tg.N); err != nil {
 		return CongestionStats{}, err
 	}
-	load := map[linkKey]int{}
+	slots := nw.LinkSlots()
+	load := make([]int32, slots)
 	stats := CongestionStats{}
 	var mu sync.Mutex
+	// Per-span scratch comes from a pool local to this call: spans reuse
+	// the slabs of earlier spans (zeroed during the merge) instead of
+	// allocating slots-sized arrays per span.
+	scratch := sync.Pool{New: func() any {
+		s := make([]int32, slots)
+		return &s
+	}}
 	par.Blocks(len(tg.Edges), par.Grain(len(tg.Edges), 256), func(lo, hi int) {
 		cur := make(grid.Node, nw.shape.Dim())
 		target := make(grid.Node, nw.shape.Dim())
-		var path []int
-		localLoad := map[linkKey]int{}
+		localp := scratch.Get().(*[]int32)
+		local := *localp
+		bump := func(rank int) { local[rank]++ }
 		localHops := 0
 		for i := lo; i < hi; i++ {
 			e := tg.Edges[i]
-			for _, pair := range [2][2]int{{p[e[0]], p[e[1]]}, {p[e[1]], p[e[0]]}} {
-				path = nw.routeInto(path[:0], pair[0], pair[1], cur, target)
-				localHops += len(path) - 1
-				for k := 0; k+1 < len(path); k++ {
-					localLoad[linkKey{path[k], path[k+1]}]++
-				}
-			}
+			localHops += nw.walkLinks(p[e[0]], p[e[1]], cur, target, bump)
+			localHops += nw.walkLinks(p[e[1]], p[e[0]], cur, target, bump)
 		}
 		mu.Lock()
 		stats.TotalHops += localHops
-		for k, v := range localLoad {
-			load[k] += v
-			if load[k] > stats.MaxLink {
-				stats.MaxLink = load[k]
+		for k, v := range local {
+			if v != 0 {
+				load[k] += v
+				local[k] = 0
 			}
 		}
 		mu.Unlock()
+		scratch.Put(localp)
 	})
-	stats.UsedLinks = len(load)
+	for _, v := range load {
+		if v > 0 {
+			stats.UsedLinks++
+			if int(v) > stats.MaxLink {
+				stats.MaxLink = int(v)
+			}
+		}
+	}
 	return stats, nil
 }

@@ -32,18 +32,30 @@ import (
 
 // Network is a torus or mesh machine with one router per node.
 type Network struct {
-	Spec  grid.Spec
-	n     int
-	shape grid.Shape
+	Spec    grid.Spec
+	n       int
+	shape   grid.Shape
+	strides []int           // row-major rank deltas per dimension
+	lr      grid.LinkRanker // dense directed-link ranking
 }
 
 // New builds a network from a spec.
 func New(sp grid.Spec) *Network {
-	return &Network{Spec: sp, n: sp.Size(), shape: sp.Shape}
+	return &Network{
+		Spec:    sp,
+		n:       sp.Size(),
+		shape:   sp.Shape,
+		strides: sp.Shape.Strides(),
+		lr:      sp.NewLinkRanker(),
+	}
 }
 
 // Size returns the number of routers.
 func (nw *Network) Size() int { return nw.n }
+
+// LinkSlots returns the size of a dense per-directed-link accumulator
+// for this network — the index space walkLinks ranks into.
+func (nw *Network) LinkSlots() int { return nw.lr.Slots(nw.n) }
 
 // Route returns the dimension-ordered path from src to dst (inclusive of
 // both endpoints) as router indices. In each dimension the torus variant
@@ -83,6 +95,55 @@ func (nw *Network) routeInto(buf []int, src, dst int, cur, target grid.Node) []i
 		}
 	}
 	return path
+}
+
+// walkLinks traverses the dimension-ordered route from src to dst —
+// the exact hop sequence of routeInto — calling visit once per directed
+// link with its dense rank (grid.LinkRanker over this network), and
+// returns the hop count. Unlike routeInto it never materializes the
+// path: ranks are maintained incrementally from the strides, which is
+// what makes it the shared inner loop of the dense congestion
+// accumulator and the incremental LoadState. cur and target are
+// caller-provided coordinate scratch of length Dim.
+func (nw *Network) walkLinks(src, dst int, cur, target grid.Node, visit func(rank int)) int {
+	nw.shape.NodeInto(cur, src)
+	nw.shape.NodeInto(target, dst)
+	hops := 0
+	x := src
+	for j, l := range nw.shape {
+		stride := nw.strides[j]
+		for cur[j] != target[j] {
+			step := 1
+			diff := target[j] - cur[j]
+			if nw.Spec.Kind == grid.Torus {
+				// Choose the shorter wrap direction; break ties toward
+				// increasing coordinates — routeInto's rule exactly.
+				forward := (diff + l) % l
+				if forward <= l-forward {
+					step = 1
+				} else {
+					step = -1
+				}
+			} else if diff < 0 {
+				step = -1
+			}
+			visit(nw.lr.Rank(x, j, step < 0))
+			c := cur[j] + step
+			switch {
+			case c < 0: // wrap below: the -1 step lands on coordinate l-1
+				c = l - 1
+				x += (l - 1) * stride
+			case c >= l: // wrap above: the +1 step lands on coordinate 0
+				c = 0
+				x -= (l - 1) * stride
+			default:
+				x += step * stride
+			}
+			cur[j] = c
+			hops++
+		}
+	}
+	return hops
 }
 
 // Placement maps task index to router index.

@@ -26,7 +26,14 @@ import (
 //	   mid-rotation candidate fields ("mid_rot"), and the annealing
 //	   refinement fields ("annealed", "anneal_wins", "seed", and the
 //	   per-candidate "annealed"/"annealed_from" provenance).
-const ArtifactVersion = 2
+//	3: incremental annealing engine — seeds drawn from the whole
+//	   scored set (front first; "anneal_seeds_skipped" reports cap
+//	   truncation), the size gate lifted, the "moves" repertoire
+//	   token in the search spec, and congestion pruning disabled
+//	   under annealing. Fronts from annealed searches are not
+//	   comparable across the bump, so pre-upgrade journals and shard
+//	   artifacts must not fold into post-upgrade searches.
+const ArtifactVersion = 3
 
 // Encode writes the result as deterministic, human-readable JSON.
 func Encode(w io.Writer, r *Result) error {

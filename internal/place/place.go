@@ -90,11 +90,15 @@
 //
 // # Annealing refinement
 //
-// With Config.Anneal, small pairs additionally get a seeded,
-// deterministic simulated-annealing pass (anneal.go) over node-swap
-// moves, run from each front member; a refined placement is admitted
-// only when it strictly dominates its seed, so annealing can only grow
-// the front inward, never degrade it.
+// With Config.Anneal, the pair additionally gets a seeded,
+// deterministic simulated-annealing pass (anneal.go), evaluated
+// incrementally on netsim.LoadState so it scales to pairs of any size;
+// seeds are drawn from the scored candidates (front members first). A
+// refined placement is admitted only when it strictly dominates its
+// seed, so annealing can only grow the front inward, never degrade it.
+// Annealing also disables the congestion pruning gate: the pruned set
+// depends on worker scheduling, and the seed selection must see a
+// deterministic scored set.
 //
 // The baseline candidate (first strategy, identity permutations) is
 // always fully scored and verified, and reported next to the winner, so
@@ -204,14 +208,21 @@ type Config struct {
 	// Rotations includes the digit-rotation generator (mesh sides
 	// only; torus rotations are metric-invariant automorphisms).
 	Rotations bool
-	// Anneal adds the simulated-annealing refinement pass: every front
-	// member of a small pair (at most AnnealMaxNodes guest nodes) seeds
-	// a deterministic annealing run over node-swap moves, and refined
-	// placements that strictly dominate their seed join the front.
+	// Anneal adds the simulated-annealing refinement pass: scored
+	// candidates (front members first) seed deterministic annealing
+	// runs, evaluated incrementally so the pass scales to pairs of any
+	// size, and refined placements that strictly dominate their seed
+	// join the front.
 	Anneal bool
 	// AnnealSteps budgets each annealing run (<= 0 means
 	// DefaultAnnealSteps).
 	AnnealSteps int
+	// AnnealMoves selects the move repertoire: DefaultAnnealMoves
+	// ("swap", also the empty value) proposes node swaps only, with the
+	// same RNG stream as the pre-incremental engine; AnnealMovesAll
+	// ("all") mixes in host-axis segment reversals and axis-plane
+	// swaps.
+	AnnealMoves string
 	// Seed seeds the deterministic annealing RNG (0 means
 	// DefaultAnnealSeed). Two searches with equal configs — seed
 	// included — produce identical artifacts.
@@ -259,6 +270,14 @@ func (cfg *Config) validate() error {
 		if cfg.Seed == 0 {
 			cfg.Seed = DefaultAnnealSeed
 		}
+		switch cfg.AnnealMoves {
+		case "":
+			cfg.AnnealMoves = DefaultAnnealMoves
+		case DefaultAnnealMoves, AnnealMovesAll:
+		default:
+			return fmt.Errorf("place: anneal moves must be %q or %q, got %q",
+				DefaultAnnealMoves, AnnealMovesAll, cfg.AnnealMoves)
+		}
 	}
 	return nil
 }
@@ -298,7 +317,11 @@ func (cfg Config) Spec() string {
 		if seed == 0 {
 			seed = DefaultAnnealSeed
 		}
-		spec += fmt.Sprintf(" anneal=%d seed=%d", steps, seed)
+		moves := cfg.AnnealMoves
+		if moves == "" {
+			moves = DefaultAnnealMoves
+		}
+		spec += fmt.Sprintf(" anneal=%d seed=%d moves=%s", steps, seed, moves)
 	}
 	return spec
 }
@@ -470,10 +493,12 @@ type Result struct {
 	// Annealed counts the annealing refinement runs; AnnealWins counts
 	// the annealed members of the final front — refined placements that
 	// strictly dominated their seed and survived the front's dedup.
-	// Both are zero without Config.Anneal (or for pairs above
-	// AnnealMaxNodes) and deterministic with it.
-	Annealed   int `json:"annealed,omitempty"`
-	AnnealWins int `json:"anneal_wins,omitempty"`
+	// AnnealSeedsSkipped counts the eligible seeds the per-search seed
+	// cap dropped, so wide searches can see the pass was truncated.
+	// All are zero without Config.Anneal and deterministic with it.
+	Annealed           int `json:"annealed,omitempty"`
+	AnnealWins         int `json:"anneal_wins,omitempty"`
+	AnnealSeedsSkipped int `json:"anneal_seeds_skipped,omitempty"`
 	// Seed is the effective annealing seed (0 without annealing).
 	Seed int64 `json:"seed,omitempty"`
 	// Baseline is the paper pick (first strategy, identity symmetries),
@@ -781,8 +806,11 @@ func Search(cfg Config) (*Result, error) {
 			}
 			// A candidate whose best conceivable vector (dil, 1, 1) is
 			// already strictly dominated can neither join the front nor
-			// win; skip the routing pass.
-			if floor.prunes(dil) {
+			// win; skip the routing pass. With annealing on, every
+			// candidate is scored instead: the pruned set depends on
+			// worker scheduling, and annealing's seed selection draws
+			// from the whole scored set, which must be deterministic.
+			if !cfg.Anneal && floor.prunes(dil) {
 				mu.Lock()
 				pruned++
 				mu.Unlock()
@@ -830,7 +858,7 @@ func Search(cfg Config) (*Result, error) {
 	annealTables := map[int]embed.Table{}
 	if cfg.Anneal {
 		res.Seed = cfg.Seed
-		front, err = s.annealFront(variants, front, res, annealTables)
+		front, err = s.annealFront(variants, scored, front, res, annealTables)
 		if err != nil {
 			return nil, err
 		}

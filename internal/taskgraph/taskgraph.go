@@ -100,6 +100,32 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// Incidence returns, for every task, the indices into Edges of the
+// edges incident to it — the adjacency the incremental placement
+// evaluator walks to find the O(degree) routes a node move touches.
+// Entries are in Edges order; an edge appears once under each endpoint.
+func (g *Graph) Incidence() [][]int32 {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	// One backing array, sliced per task, so the structure is two
+	// allocations regardless of size.
+	backing := make([]int32, 2*len(g.Edges))
+	inc := make([][]int32, g.N)
+	off := 0
+	for t, d := range deg {
+		inc[t] = backing[off : off : off+d]
+		off += d
+	}
+	for i, e := range g.Edges {
+		inc[e[0]] = append(inc[e[0]], int32(i))
+		inc[e[1]] = append(inc[e[1]], int32(i))
+	}
+	return inc
+}
+
 // MaxDegree returns the maximum task degree.
 func (g *Graph) MaxDegree() int {
 	deg := make([]int, g.N)

@@ -60,6 +60,40 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// TestIncidence: every task lists exactly the edges touching it, in
+// Edges order, and the lists cover each edge twice in total.
+func TestIncidence(t *testing.T) {
+	for _, g := range []*Graph{
+		Pipeline(6),
+		RingPipeline(5),
+		FromSpec(grid.TorusSpec(3, 4)),
+		FromSpec(grid.MeshSpec(2, 2, 3)),
+	} {
+		inc := g.Incidence()
+		if len(inc) != g.N {
+			t.Fatalf("%s: incidence covers %d tasks, want %d", g.Name, len(inc), g.N)
+		}
+		total := 0
+		for task, edges := range inc {
+			last := int32(-1)
+			for _, ei := range edges {
+				if ei <= last {
+					t.Errorf("%s: task %d incidence out of order: %v", g.Name, task, edges)
+				}
+				last = ei
+				e := g.Edges[ei]
+				if e[0] != task && e[1] != task {
+					t.Errorf("%s: task %d lists edge %v it does not touch", g.Name, task, e)
+				}
+			}
+			total += len(edges)
+		}
+		if total != 2*len(g.Edges) {
+			t.Errorf("%s: incidence lists %d endpoints, want %d", g.Name, total, 2*len(g.Edges))
+		}
+	}
+}
+
 func TestGeneratorsNamesAndDegrees(t *testing.T) {
 	if Stencil2D(4, 5).Name != "stencil2d(4x5)" {
 		t.Error("stencil2d name wrong")

@@ -32,11 +32,17 @@ type PlacementOptions struct {
 	// Rotations includes digit-rotation candidates (mesh sides only;
 	// torus rotations are metric-invariant automorphisms).
 	Rotations bool
-	// Anneal refines the Pareto front of small pairs by a seeded,
-	// deterministic simulated-annealing pass over node-swap moves; a
-	// refined placement joins the front only when it strictly dominates
-	// its seed.
+	// Anneal refines the Pareto front by a seeded, deterministic
+	// simulated-annealing pass, evaluated incrementally so it scales to
+	// pairs of any size; a refined placement joins the front only when
+	// it strictly dominates its seed.
 	Anneal bool
+	// AnnealSteps budgets each annealing run (<= 0: a fixed default).
+	AnnealSteps int
+	// AnnealMoves selects the annealing move repertoire: "" or "swap"
+	// for node swaps only, "all" to mix in host-axis segment reversals
+	// and axis-plane swaps.
+	AnnealMoves string
 	// Seed seeds the annealing RNG (0: a fixed default). Equal options
 	// — seed included — produce identical results.
 	Seed int64
@@ -73,6 +79,8 @@ func PlaceWith(g, h Spec, opts PlacementOptions) (*PlacementResult, error) {
 		CapDilation: opts.CapDilation,
 		Rotations:   opts.Rotations,
 		Anneal:      opts.Anneal,
+		AnnealSteps: opts.AnnealSteps,
+		AnnealMoves: opts.AnnealMoves,
 		Seed:        opts.Seed,
 		Strategies:  place.DefaultStrategies(),
 	})
