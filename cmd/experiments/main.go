@@ -3,6 +3,13 @@
 // without arguments for the full suite, or pass experiment ids (E01..E21)
 // to run a subset. The experiment index is documented in DESIGN.md and
 // the recorded outputs in EXPERIMENTS.md.
+//
+// With -bench the command instead runs the reproducible benchmark
+// suite over the annealing evaluation kernels (LoadState construction,
+// congestion, striped edge dilation, per-move swaps) at one worker and
+// at the machine's full worker count, and writes a versioned
+// BENCH.json to -bench-out ("-" for stdout) — the repo's recorded perf
+// trajectory.
 package main
 
 import (
@@ -15,10 +22,29 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and titles")
+	bench := flag.Bool("bench", false, "run the kernel benchmark suite and write BENCH.json")
+	benchOut := flag.String("bench-out", "BENCH.json", "benchmark report destination (\"-\" for stdout)")
 	flag.Parse()
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *bench {
+		out := os.Stdout
+		if *benchOut != "-" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.WriteBench(out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 		return
 	}

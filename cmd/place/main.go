@@ -30,6 +30,12 @@
 // seed (same seed, same artifact), -anneal-steps the per-run move
 // budget, and -anneal-moves the repertoire ("swap" for node swaps
 // only, "all" to mix in segment reversals and axis-plane swaps).
+// Annealing runs execute concurrently (one per seed) with results
+// admitted in seed order, so the artifact is still scheduling-
+// independent, and use compact int32 placement tables on hosts whose
+// ranks fit — -wide-tables forces the historical []int form (identical
+// results). With -time, each run's wall time and steps/sec are
+// reported.
 //
 // Exit codes: 0 = success; 1 = internal inconsistency (the search
 // returned a winner worse than its own baseline — a library bug);
@@ -63,6 +69,7 @@ func main() {
 	annealSteps := flag.Int("anneal-steps", 0, "move budget per annealing run (0 = default)")
 	annealMoves := flag.String("anneal-moves", "", "annealing move repertoire: swap (default) or all")
 	seed := flag.Int64("seed", 0, "annealing RNG seed (0 = default); same seed, same artifact")
+	wideTables := flag.Bool("wide-tables", false, "force wide []int annealing tables (default: compact int32 when the host fits; results are identical)")
 	jsonOut := flag.String("json", "", "write the search artifact to this file")
 	timing := flag.Bool("time", false, "report the wall time of the search")
 	flag.Parse()
@@ -70,10 +77,10 @@ func main() {
 	if *guest == "" || *host == "" {
 		fatalf("place: both -from and -to are required")
 	}
-	if !*anneal && (*annealSteps != 0 || *seed != 0 || *annealMoves != "") {
+	if !*anneal && (*annealSteps != 0 || *seed != 0 || *annealMoves != "" || *wideTables) {
 		// Silently ignoring these would let a user believe the seed
 		// shaped the result.
-		fatalf("place: -seed, -anneal-steps and -anneal-moves require -anneal")
+		fatalf("place: -seed, -anneal-steps, -anneal-moves and -wide-tables require -anneal")
 	}
 	g, err := grid.ParseSpec(*guest)
 	if err != nil {
@@ -99,6 +106,7 @@ func main() {
 		AnnealSteps: *annealSteps,
 		AnnealMoves: *annealMoves,
 		Seed:        *seed,
+		WideTables:  *wideTables,
 		Strategies:  place.DefaultStrategies(),
 	})
 	if err != nil {
@@ -109,6 +117,13 @@ func main() {
 	if *timing {
 		fmt.Printf("searched in %s across %d worker(s), %d congestion scoring(s) pruned\n",
 			res.Elapsed, par.Workers(), res.Pruned)
+		for _, run := range res.AnnealRuns {
+			line := fmt.Sprintf("anneal run from #%d: %d steps in %s", run.SeedIndex, run.Steps, run.Elapsed)
+			if run.Elapsed > 0 {
+				line += fmt.Sprintf(" (%.0f steps/sec)", float64(run.Steps)/run.Elapsed.Seconds())
+			}
+			fmt.Println(line)
+		}
 	}
 	if *jsonOut != "" {
 		if err := res.WriteFile(*jsonOut); err != nil {

@@ -28,7 +28,7 @@ func intList(xs []int) string {
 
 // ArtifactVersion is the schema version stamped into every artifact.
 // Decode rejects artifacts from other versions. The serialized form is
-// pinned by the golden-file test (testdata/census-v3.golden.json): any
+// pinned by the golden-file test (testdata/census-v4.golden.json): any
 // change to it must bump this constant and regenerate the golden with
 // `go test ./internal/census -run Golden -update`.
 //
@@ -42,7 +42,9 @@ func intList(xs []int) string {
 //	   "congestion"} cost-count maps) on metrics/congestion censuses;
 //	   the NDJSON stream form (stream.go) carries the same version in
 //	   its header line.
-const ArtifactVersion = 3
+//	4: per-pair "hop_hist" route-length distribution (routed distance
+//	   -> guest edge count) on congestion censuses.
+const ArtifactVersion = 4
 
 // Encode writes the census as deterministic, human-readable JSON.
 func Encode(w io.Writer, c *Census) error {

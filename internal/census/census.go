@@ -169,6 +169,12 @@ type PairResult struct {
 	// Congestion is the peak directed-link load under dimension-ordered
 	// routing (congestion censuses only).
 	Congestion int `json:"congestion,omitempty"`
+	// HopHist is the route-length distribution of the baseline
+	// placement: routed distance (hops one way; 0 for co-located
+	// endpoints) -> number of guest edges at that distance. It comes out
+	// of the same fused edge pass as Congestion (congestion censuses
+	// only).
+	HopHist map[int]int `json:"hop_hist,omitempty"`
 	// Place is the best placement the search found for the pair
 	// (placement censuses only; nil for failed pairs).
 	Place *PlaceSummary `json:"place,omitempty"`
@@ -631,17 +637,21 @@ func checkPredicted(pr *PairResult, e *embed.Embedding, measured int, g, h grid.
 }
 
 // congest records the peak directed-link load of routing the guest's
-// edges through the host under the embedding's placement.
+// edges through the host under the embedding's placement, plus the
+// route-length histogram the same pass computes.
 func (ev *evaluator) congest(pr *PairResult, g, h grid.Spec, p netsim.Placement) {
 	if !ev.cfg.Congestion {
 		return
 	}
-	stats, err := netsim.Congestion(netsim.New(h), ev.graphs[g.String()], p)
+	stats, hops, err := netsim.CongestionHops(netsim.New(h), ev.graphs[g.String()], p)
 	if err != nil {
 		pr.Failure, pr.FailureStage = err.Error(), StageVerify
 		return
 	}
 	pr.Congestion = stats.MaxLink
+	if len(hops) > 0 {
+		pr.HopHist = hops
+	}
 	ev.place(pr, g, h)
 }
 

@@ -16,7 +16,7 @@ var update = flag.Bool("update", false, "regenerate the golden census artifact")
 // goldenPath names the committed artifact after the schema version it
 // pins, so a version bump forces a new file next to the old name.
 func goldenPath() string {
-	return filepath.Join("testdata", "census-v3.golden.json")
+	return filepath.Join("testdata", "census-v4.golden.json")
 }
 
 // goldenConfig is a small but full-featured census: metrics, congestion

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -351,7 +352,7 @@ func TestRunSkipAndOnResult(t *testing.T) {
 	for _, r := range partial.Results {
 		want := byIndex[r.Index]
 		want.Wall = r.Wall
-		if r != want {
+		if !reflect.DeepEqual(r, want) {
 			t.Errorf("pair %d differs between full and skipping runs", r.Index)
 		}
 	}

@@ -1,0 +1,198 @@
+// The reproducible benchmark runner behind `experiments -bench`: it
+// drives the performance-critical kernels of the annealing evaluation
+// stack — LoadState construction, dense congestion, striped edge
+// dilation, and the per-move swap — through testing.Benchmark at one
+// worker and at the machine's full worker count, and renders the
+// results as a versioned BENCH.json. The artifact is the repo's
+// recorded perf trajectory: CI runs the runner as a smoke (the numbers
+// themselves are machine-dependent; the alloc gates live in the test
+// suites), and a committed BENCH.json documents the shape of the
+// scaling claims next to the code that makes them.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/par"
+	"torusmesh/internal/taskgraph"
+)
+
+// BenchVersion is the schema version stamped into BENCH.json. Bump it
+// when the result fields or the benchmark set change meaning.
+const BenchVersion = 1
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	// Name identifies the kernel and configuration, e.g.
+	// "loadstate-init/torus:16x16x16->mesh:16x16x16/workers=8".
+	Name string `json:"name"`
+	// N is the iteration count testing.Benchmark settled on.
+	N int `json:"n"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are the standard Go benchmark
+	// outputs.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific gauges (e.g. table bytes of
+	// the compact vs wide representations).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the BENCH.json document.
+type BenchReport struct {
+	Version    int           `json:"version"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	MaxWorkers int           `json:"max_workers"`
+	Results    []BenchResult `json:"results"`
+}
+
+// benchPair is the fixed workload: a 4096-node pair whose 12288 guest
+// edges sit above the LoadState striping threshold, so the parallel
+// construction path is what gets measured.
+func benchPair() (*netsim.Network, *taskgraph.Graph, grid.Spec, netsim.Placement) {
+	host := grid.MeshSpec(16, 16, 16)
+	guest := grid.TorusSpec(16, 16, 16)
+	nw := netsim.New(host)
+	rng := rand.New(rand.NewSource(9))
+	p := netsim.Placement(rng.Perm(nw.Size()))
+	return nw, taskgraph.FromSpec(guest), guest, p
+}
+
+// withWorkers runs fn under a temporary GOMAXPROCS.
+func withWorkers(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// runOne executes fn under testing.Benchmark and records it.
+func runOne(report *BenchReport, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	report.Results = append(report.Results, BenchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	})
+}
+
+// runScaling runs the kernel at one worker and at the full worker
+// count, which is what makes the striping speedups visible in the
+// artifact.
+func runScaling(report *BenchReport, name string, fn func(b *testing.B)) {
+	counts := []int{1}
+	if report.MaxWorkers > 1 {
+		counts = append(counts, report.MaxWorkers)
+	}
+	for _, workers := range counts {
+		label := fmt.Sprintf("%s/workers=%d", name, workers)
+		withWorkers(workers, func() { runOne(report, label, fn) })
+	}
+}
+
+// RunBench measures the annealing evaluation kernels and returns the
+// report.
+func RunBench() (*BenchReport, error) {
+	nw, tg, guest, p := benchPair()
+	pairName := fmt.Sprintf("%s->%s", guest, nw.Spec)
+	rd := nw.Spec.NewRankDistancer()
+	report := &BenchReport{
+		Version:    BenchVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		MaxWorkers: par.Workers(),
+	}
+
+	runScaling(report, "loadstate-init/"+pairName, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.NewLoadState(nw, tg, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	runScaling(report, "congestion/"+pairName, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.Congestion(nw, tg, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	tab := []int(p)
+	runScaling(report, "edge-dilation-striped/"+pairName, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			guest.EdgeDilationStriped(tab, rd)
+		}
+	})
+
+	// The per-move kernel of an anneal step: one swap plus the aggregate
+	// reads an acceptance decision needs. Steady state must not allocate
+	// — the alloc gates in internal/netsim pin that to zero.
+	ls, err := netsim.NewLoadState(nw, tg, p)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(13))
+	n := tg.N
+	runOne(report, "anneal-move/swap/"+pairName, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			ls.Swap(u, v)
+			_ = ls.Stats()
+			ls.Dilation()
+		}
+	})
+
+	// Memory gauge: the table bytes of the two representations — the
+	// halving the compact mode claims.
+	compact, err := netsim.NewLoadStateMode(nw, tg, p, netsim.ModeCompact)
+	if err != nil {
+		return nil, err
+	}
+	wide, err := netsim.NewLoadStateMode(nw, tg, p, netsim.ModeWide)
+	if err != nil {
+		return nil, err
+	}
+	report.Results = append(report.Results, BenchResult{
+		Name: "table-bytes/" + pairName,
+		Metrics: map[string]float64{
+			"compact_bytes": float64(compact.TableBytes()),
+			"wide_bytes":    float64(wide.TableBytes()),
+		},
+	})
+	return report, nil
+}
+
+// WriteBench runs the benchmark suite and writes BENCH.json to w.
+func WriteBench(w io.Writer) error {
+	report, err := RunBench()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

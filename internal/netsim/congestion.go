@@ -13,6 +13,9 @@ import (
 // simulating time. Congestion is the second classic embedding cost
 // besides dilation; a placement can have unit dilation yet overload a
 // link when many guest edges share it.
+//
+// The struct is deliberately comparable (==): the incremental
+// LoadState's Recheck and the parity tests compare whole stats at once.
 type CongestionStats struct {
 	// MaxLink is the largest number of task-edge routes crossing any
 	// single directed link.
@@ -45,15 +48,32 @@ func (s CongestionStats) AvgLink() float64 {
 // workers on the internal/par pool; int32 merges commute, so the stats
 // are independent of scheduling.
 func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats, error) {
+	stats, _, err := congestion(nw, tg, p, false)
+	return stats, err
+}
+
+// CongestionHops is Congestion plus the route-length distribution: a
+// histogram mapping routed distance (hops one way; 0 for co-located
+// endpoints) to the number of task edges routed at that distance. The
+// census artifact's hop_hist column comes from here — the same fused
+// edge pass that already walks every route, so the histogram is free
+// beyond a per-worker bucket array. It is returned separately rather
+// than as a CongestionStats field to keep the stats comparable with ==.
+func CongestionHops(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats, map[int]int, error) {
+	return congestion(nw, tg, p, true)
+}
+
+func congestion(nw *Network, tg *taskgraph.Graph, p Placement, wantHist bool) (CongestionStats, map[int]int, error) {
 	if err := tg.Validate(); err != nil {
-		return CongestionStats{}, err
+		return CongestionStats{}, nil, err
 	}
 	if err := p.Validate(nw, tg.N); err != nil {
-		return CongestionStats{}, err
+		return CongestionStats{}, nil, err
 	}
 	slots := nw.LinkSlots()
 	load := make([]int32, slots)
 	stats := CongestionStats{}
+	var distHist []int32
 	var mu sync.Mutex
 	// Per-span scratch comes from a pool local to this call: spans reuse
 	// the slabs of earlier spans (zeroed during the merge) instead of
@@ -67,12 +87,19 @@ func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats,
 		target := make(grid.Node, nw.shape.Dim())
 		localp := scratch.Get().(*[]int32)
 		local := *localp
-		bump := func(rank int) { local[rank]++ }
+		bumpLoad := func(rank int) { local[rank]++ }
+		var localHist []int32
+		if wantHist {
+			localHist = make([]int32, 8)
+		}
 		localHops := 0
 		for i := lo; i < hi; i++ {
 			e := tg.Edges[i]
-			localHops += nw.walkLinks(p[e[0]], p[e[1]], cur, target, bump)
-			localHops += nw.walkLinks(p[e[1]], p[e[0]], cur, target, bump)
+			d := nw.walkLinks(p[e[0]], p[e[1]], cur, target, bumpLoad)
+			localHops += d + nw.walkLinks(p[e[1]], p[e[0]], cur, target, bumpLoad)
+			if wantHist {
+				localHist = bump(localHist, d)
+			}
 		}
 		mu.Lock()
 		stats.TotalHops += localHops
@@ -80,6 +107,16 @@ func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats,
 			if v != 0 {
 				load[k] += v
 				local[k] = 0
+			}
+		}
+		if wantHist {
+			for d, v := range localHist {
+				if v != 0 {
+					for d >= len(distHist) {
+						distHist = append(distHist, make([]int32, len(distHist)+1)...)
+					}
+					distHist[d] += v
+				}
 			}
 		}
 		mu.Unlock()
@@ -93,5 +130,16 @@ func Congestion(nw *Network, tg *taskgraph.Graph, p Placement) (CongestionStats,
 			}
 		}
 	}
-	return stats, nil
+	var hist map[int]int
+	if wantHist {
+		hist = make(map[int]int)
+		for d, v := range distHist {
+			if v != 0 {
+				hist[d] = int(v)
+			}
+		}
+		// Edge case: zero-edge graphs keep the histogram present but
+		// empty, matching the distribution of "no routes".
+	}
+	return stats, hist, nil
 }

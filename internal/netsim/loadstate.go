@@ -20,16 +20,58 @@
 //   - per-edge routed distances feed the same bucket scheme for the
 //     max-dilation counter, plus a running sum for average dilation.
 //
-// A LoadState is single-goroutine state: moves are sequential by
-// design (the annealing pass is deterministic), so nothing is locked.
+// Construction is the remaining O(|E|·distance) cost, so the initial
+// routing stripes edge blocks across the internal/par pool: each worker
+// walks its edges into a pooled per-worker load slab plus a local
+// distance histogram (the pattern the dense Congestion accumulator
+// uses), the slabs merge by link rank, and the load-value bucket
+// counters are derived from the merged array — integer sums commute, so
+// the built state is bit-identical to a serial walk at any worker
+// count.
+//
+// The placement table itself comes in two widths. Hosts whose node
+// ranks fit int32 — every host below 2³¹ nodes — default to a compact
+// []int32 table, halving the table bytes of the 10⁵-node-scale
+// placements the annealing pass runs at; ModeWide keeps the historical
+// []int form, and the two modes are move-for-move bit-identical (the
+// compact-vs-wide parity test pins this).
+//
+// After construction a LoadState is single-goroutine state: moves are
+// sequential by design (the annealing pass is deterministic), so
+// nothing is locked.
 package netsim
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"torusmesh/internal/grid"
+	"torusmesh/internal/par"
 	"torusmesh/internal/taskgraph"
 )
+
+// Mode selects the placement-table representation of a LoadState.
+type Mode int
+
+const (
+	// ModeAuto picks the compact table whenever the host's ranks fit
+	// int32, the wide one otherwise — the default.
+	ModeAuto Mode = iota
+	// ModeWide forces the historical []int table.
+	ModeWide
+	// ModeCompact forces the []int32 table; construction fails on hosts
+	// at or past 2³¹ nodes, whose ranks the representation cannot hold.
+	ModeCompact
+)
+
+// compactLimit is the largest host rank the compact table addresses.
+const compactLimit = math.MaxInt32
+
+// loadStripeMinEdges is the edge count below which the initial routing
+// stays serial: striping pays for pooled slabs and a merge, which a
+// small graph never amortizes. Either path builds bit-identical state.
+const loadStripeMinEdges = 4096
 
 // LoadState holds the incrementally maintained routing state of one
 // placement. Build one with NewLoadState; mutate it with Swap and
@@ -37,7 +79,8 @@ import (
 type LoadState struct {
 	nw  *Network
 	tg  *taskgraph.Graph
-	p   []int     // guest rank -> host rank (owned copy)
+	p   []int     // wide guest rank -> host rank table (nil in compact mode)
+	p32 []int32   // compact table (nil in wide mode)
 	inv []int32   // host rank -> guest rank, -1 when unoccupied
 	inc [][]int32 // per-guest incident edge indices (taskgraph.Incidence)
 
@@ -57,12 +100,33 @@ type LoadState struct {
 	touched     []int32 // edge indices the current move re-routes
 }
 
-// NewLoadState validates the placement and routes every task edge once,
-// building the dense load array and the bucket counters. The placement
-// is copied; the caller's slice is not retained.
+// NewLoadState validates the placement and routes every task edge once
+// (striped across the internal/par pool on large graphs), building the
+// dense load array and the bucket counters. The table representation is
+// ModeAuto's pick. The placement is copied; the caller's slice is not
+// retained.
 func NewLoadState(nw *Network, tg *taskgraph.Graph, p Placement) (*LoadState, error) {
+	return NewLoadStateMode(nw, tg, p, ModeAuto)
+}
+
+// NewLoadStateMode is NewLoadState with an explicit table mode —
+// benchmarks and parity tests force ModeWide/ModeCompact; everything
+// else wants ModeAuto.
+func NewLoadStateMode(nw *Network, tg *taskgraph.Graph, p Placement, mode Mode) (*LoadState, error) {
 	if err := tg.Validate(); err != nil {
 		return nil, err
+	}
+	// The mode guard runs before placement validation: validation
+	// allocates host-sized scratch, which on the >2³¹-node hosts the
+	// guard exists for is exactly the allocation to refuse.
+	compact := nw.n <= compactLimit
+	switch mode {
+	case ModeWide:
+		compact = false
+	case ModeCompact:
+		if !compact {
+			return nil, fmt.Errorf("netsim: compact tables address host ranks below 2^31, but host %s has %d nodes; use ModeWide", nw.Spec, nw.n)
+		}
 	}
 	if err := p.Validate(nw, tg.N); err != nil {
 		return nil, err
@@ -70,7 +134,6 @@ func NewLoadState(nw *Network, tg *taskgraph.Graph, p Placement) (*LoadState, er
 	ls := &LoadState{
 		nw:       nw,
 		tg:       tg,
-		p:        append([]int(nil), p...),
 		inv:      make([]int32, nw.n),
 		inc:      tg.Incidence(),
 		load:     make([]int32, nw.LinkSlots()),
@@ -80,22 +143,77 @@ func NewLoadState(nw *Network, tg *taskgraph.Graph, p Placement) (*LoadState, er
 		target:   make(grid.Node, nw.shape.Dim()),
 		stamp:    make([]int32, len(tg.Edges)),
 	}
+	if compact {
+		ls.p32 = make([]int32, len(p))
+		for g, h := range p {
+			ls.p32[g] = int32(h)
+		}
+	} else {
+		ls.p = append([]int(nil), p...)
+	}
 	for i := range ls.inv {
 		ls.inv[i] = -1
 	}
-	for g, h := range ls.p {
-		ls.inv[h] = int32(g)
+	for g := range p {
+		ls.inv[p[g]] = int32(g)
 	}
-	for e := range tg.Edges {
-		ls.routeEdge(e, +1)
-	}
+	ls.routeInitial()
 	return ls, nil
 }
 
-// Table returns the live placement table. It is owned by the LoadState:
-// callers must treat it as read-only and copy it if retained across
-// moves.
-func (ls *LoadState) Table() []int { return ls.p }
+// host and setHost are the width-erasing table accessors of the hot
+// paths — one nil check against two routed walks per edge.
+func (ls *LoadState) host(g int) int {
+	if ls.p32 != nil {
+		return int(ls.p32[g])
+	}
+	return ls.p[g]
+}
+
+func (ls *LoadState) setHost(g, h int) {
+	if ls.p32 != nil {
+		ls.p32[g] = int32(h)
+		return
+	}
+	ls.p[g] = h
+}
+
+func (ls *LoadState) tasks() int {
+	if ls.p32 != nil {
+		return len(ls.p32)
+	}
+	return len(ls.p)
+}
+
+// Compact reports whether the placement table is in the compact int32
+// representation.
+func (ls *LoadState) Compact() bool { return ls.p32 != nil }
+
+// TableBytes returns the bytes backing the placement table — the
+// memory the compact mode halves.
+func (ls *LoadState) TableBytes() int {
+	if ls.p32 != nil {
+		return 4 * len(ls.p32)
+	}
+	return 8 * len(ls.p)
+}
+
+// HostOf returns the host rank guest g is currently placed on.
+func (ls *LoadState) HostOf(g int) int { return ls.host(g) }
+
+// CopyTableInto writes the current placement table into dst, which must
+// have length tg.N — the snapshot form consumers take when they need
+// the whole table (re-validation, best-visited bookkeeping) rather than
+// single lookups.
+func (ls *LoadState) CopyTableInto(dst []int) {
+	if ls.p32 != nil {
+		for g, h := range ls.p32 {
+			dst[g] = int(h)
+		}
+		return
+	}
+	copy(dst, ls.p)
+}
 
 // GuestAt returns the guest placed on host rank h, or -1 when the slot
 // is unoccupied (placements smaller than the host leave holes).
@@ -125,9 +243,11 @@ func (ls *LoadState) Swap(u, v int) {
 	ls.touch(u)
 	ls.touch(v)
 	ls.removeTouched()
-	ls.p[u], ls.p[v] = ls.p[v], ls.p[u]
-	ls.inv[ls.p[u]] = int32(u)
-	ls.inv[ls.p[v]] = int32(v)
+	hu, hv := ls.host(u), ls.host(v)
+	ls.setHost(u, hv)
+	ls.setHost(v, hu)
+	ls.inv[hv] = int32(u)
+	ls.inv[hu] = int32(v)
 	ls.addTouched()
 }
 
@@ -144,10 +264,10 @@ func (ls *LoadState) Permute(guests []int32, hosts []int32) {
 	}
 	ls.removeTouched()
 	for _, g := range guests {
-		ls.inv[ls.p[g]] = -1
+		ls.inv[ls.host(int(g))] = -1
 	}
 	for i, g := range guests {
-		ls.p[g] = int(hosts[i])
+		ls.setHost(int(g), int(hosts[i]))
 		ls.inv[hosts[i]] = g
 	}
 	ls.addTouched()
@@ -157,7 +277,12 @@ func (ls *LoadState) Permute(guests []int32, hosts []int32) {
 // the incremental aggregates drifted — the safety net behind the
 // annealing pass's periodic re-validation.
 func (ls *LoadState) Recheck() error {
-	want, err := Congestion(ls.nw, ls.tg, Placement(ls.p))
+	tab := ls.p
+	if ls.p32 != nil {
+		tab = make([]int, len(ls.p32))
+		ls.CopyTableInto(tab)
+	}
+	want, err := Congestion(ls.nw, ls.tg, Placement(tab))
 	if err != nil {
 		return err
 	}
@@ -165,6 +290,97 @@ func (ls *LoadState) Recheck() error {
 		return fmt.Errorf("netsim: incremental congestion drifted: have %+v, full measurement %+v", got, want)
 	}
 	return nil
+}
+
+// initScratch is the pooled per-worker state of the striped initial
+// routing: a slots-sized load slab, a local distance histogram, and the
+// coordinate scratch of the walks.
+type initScratch struct {
+	load        []int32
+	distHist    []int32
+	cur, target grid.Node
+}
+
+// routeInitial routes every task edge of the starting placement. Large
+// graphs stripe edge blocks across the par pool: per-worker slabs merge
+// by link rank and local distance histograms merge by bucket (integer
+// sums, so the merge commutes), and the load-value bucket counters are
+// then derived from the merged load array — the exact state the serial
+// per-edge walk builds.
+func (ls *LoadState) routeInitial() {
+	edges := len(ls.tg.Edges)
+	if edges < loadStripeMinEdges || par.Workers() == 1 {
+		for e := 0; e < edges; e++ {
+			ls.routeEdge(e, +1)
+		}
+		return
+	}
+	slots := len(ls.load)
+	dim := ls.nw.shape.Dim()
+	scratch := sync.Pool{New: func() any {
+		return &initScratch{
+			load:     make([]int32, slots),
+			distHist: make([]int32, 8),
+			cur:      make(grid.Node, dim),
+			target:   make(grid.Node, dim),
+		}
+	}}
+	var mu sync.Mutex
+	par.Blocks(edges, par.Grain(edges, 256), func(lo, hi int) {
+		sc := scratch.Get().(*initScratch)
+		bumpLoad := func(rank int) { sc.load[rank]++ }
+		localHops := 0
+		var localSum int64
+		for i := lo; i < hi; i++ {
+			ed := ls.tg.Edges[i]
+			a, b := ls.host(ed[0]), ls.host(ed[1])
+			d := ls.nw.walkLinks(a, b, sc.cur, sc.target, bumpLoad)
+			ls.nw.walkLinks(b, a, sc.cur, sc.target, bumpLoad)
+			localHops += 2 * d
+			localSum += int64(d)
+			if d > 0 {
+				sc.distHist = bump(sc.distHist, d)
+			}
+		}
+		mu.Lock()
+		ls.hops += localHops
+		ls.distSum += localSum
+		for k, v := range sc.load {
+			if v != 0 {
+				ls.load[k] += v
+				sc.load[k] = 0
+			}
+		}
+		for d, v := range sc.distHist {
+			if v != 0 {
+				for d >= len(ls.distHist) {
+					ls.distHist = append(ls.distHist, make([]int32, len(ls.distHist))...)
+				}
+				ls.distHist[d] += v
+				sc.distHist[d] = 0
+			}
+		}
+		mu.Unlock()
+		scratch.Put(sc)
+	})
+	// Derive the load-value bucket counters — loadHist[v] counts links
+	// at load v — from the merged loads; they depend only on the final
+	// array, not on the merge order.
+	for _, v := range ls.load {
+		if v > 0 {
+			ls.used++
+			ls.loadHist = bump(ls.loadHist, int(v))
+			if int(v) > ls.maxLink {
+				ls.maxLink = int(v)
+			}
+		}
+	}
+	for d := len(ls.distHist) - 1; d > 0; d-- {
+		if ls.distHist[d] != 0 {
+			ls.maxDist = d
+			break
+		}
+	}
 }
 
 // beginMove starts a new move epoch for the touched-edge dedup.
@@ -210,7 +426,7 @@ func (ls *LoadState) addTouched() {
 // increments exactly.
 func (ls *LoadState) routeEdge(e int, delta int32) {
 	ed := ls.tg.Edges[e]
-	a, b := ls.p[ed[0]], ls.p[ed[1]]
+	a, b := ls.host(ed[0]), ls.host(ed[1])
 	d := ls.walk(a, b, delta)
 	ls.walk(b, a, delta)
 	ls.hops += int(delta) * 2 * d

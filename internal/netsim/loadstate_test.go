@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"torusmesh/internal/grid"
@@ -116,7 +117,7 @@ func TestLoadStateIncrementalParity(t *testing.T) {
 					v++
 				}
 				ls.Swap(u, v)
-				if ls.GuestAt(ls.Table()[u]) != u || ls.GuestAt(ls.Table()[v]) != v {
+				if ls.GuestAt(ls.HostOf(u)) != u || ls.GuestAt(ls.HostOf(v)) != v {
 					t.Fatalf("%s on %s: inverse map broken after swap", tc.guest, tc.host)
 				}
 			} else {
@@ -134,7 +135,7 @@ func TestLoadStateIncrementalParity(t *testing.T) {
 				}
 				hosts := make([]int32, k)
 				for i, g := range guests {
-					hosts[i] = int32(ls.Table()[guests[(i+1)%k]])
+					hosts[i] = int32(ls.HostOf(int(guests[(i+1)%k])))
 					_ = g
 				}
 				ls.Permute(guests, hosts)
@@ -152,7 +153,8 @@ func TestLoadStateIncrementalParity(t *testing.T) {
 
 func assertParity(t *testing.T, ls *LoadState, nw *Network, tg *taskgraph.Graph, guest grid.Spec, rd *grid.RankDistancer) {
 	t.Helper()
-	tab := ls.Table()
+	tab := make([]int, tg.N)
+	ls.CopyTableInto(tab)
 	want, err := Congestion(nw, tg, Placement(tab))
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +186,214 @@ func TestLoadStateRejectsBadInput(t *testing.T) {
 	}
 	if ls.GuestAt(1) != -1 {
 		t.Errorf("empty host slot reports guest %d, want -1", ls.GuestAt(1))
+	}
+}
+
+// TestLoadStateHistogramGrowth drives both bucket arrays — per-load
+// link counts and per-distance edge counts — past their initial 8
+// buckets: ten edges folded across a 20-node line all cross the middle
+// link (load 10), and the outermost edge routes 19 hops. The aggregates
+// must stay exact through the growth, both at construction and through
+// a later move.
+func TestLoadStateHistogramGrowth(t *testing.T) {
+	nw := New(grid.LineSpec(20))
+	tg := &taskgraph.Graph{Name: "folded", N: 20}
+	for i := 0; i < 10; i++ {
+		tg.Edges = append(tg.Edges, [2]int{i, 19 - i})
+	}
+	ls, err := NewLoadState(nw, tg, IdentityPlacement(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.loadHist) <= 8 || len(ls.distHist) <= 8 {
+		t.Fatalf("histograms did not grow: loadHist %d buckets, distHist %d buckets",
+			len(ls.loadHist), len(ls.distHist))
+	}
+	if got := ls.Stats(); got.MaxLink != 10 {
+		t.Fatalf("MaxLink = %d, want 10 (all edges cross the middle link)", got.MaxLink)
+	}
+	if max, _ := ls.Dilation(); max != 19 {
+		t.Fatalf("max distance = %d, want 19", max)
+	}
+	if err := ls.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Unfold one long edge and re-fold it: growth bookkeeping must
+	// survive decrements back below the original array sizes.
+	ls.Swap(0, 19)
+	ls.Swap(0, 19)
+	if err := ls.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+	if max, _ := ls.Dilation(); max != 19 {
+		t.Fatalf("max distance after swaps = %d, want 19", max)
+	}
+}
+
+// TestLoadStateCompactGuard pins the 32-bit overflow guard: forcing the
+// compact table on a host at or past 2^31 nodes must fail with a clear
+// error before any host-sized allocation, while ordinary hosts default
+// to compact and can be forced wide.
+func TestLoadStateCompactGuard(t *testing.T) {
+	huge := New(grid.MeshSpec(1<<16, 1<<16)) // 2^32 nodes
+	tg := taskgraph.Pipeline(3)
+	_, err := NewLoadStateMode(huge, tg, Placement{0, 1, 2}, ModeCompact)
+	if err == nil {
+		t.Fatal("ModeCompact accepted a 2^32-node host")
+	}
+	if want := "2^31"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("guard error %q does not mention %q", err, want)
+	}
+
+	small := New(grid.LineSpec(8))
+	auto, err := NewLoadState(small, tg, Placement{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Compact() {
+		t.Error("ModeAuto picked the wide table on an 8-node host")
+	}
+	wide, err := NewLoadStateMode(small, tg, Placement{0, 1, 2}, ModeWide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Compact() {
+		t.Error("ModeWide produced a compact table")
+	}
+	if wb, cb := wide.TableBytes(), auto.TableBytes(); cb*2 != wb {
+		t.Errorf("table bytes: compact %d, wide %d, want exactly half", cb, wb)
+	}
+}
+
+// TestLoadStateCompactWideParity drives a compact and a wide LoadState
+// through the same randomized move sequence and requires bit-identical
+// aggregates and tables after every move — the property that makes the
+// table width invisible to the annealing pass.
+func TestLoadStateCompactWideParity(t *testing.T) {
+	nw := New(grid.TorusSpec(4, 4))
+	tg := taskgraph.FromSpec(grid.MeshSpec(4, 4))
+	rng := rand.New(rand.NewSource(41))
+	p := Placement(rng.Perm(nw.Size()))
+	compact, err := NewLoadStateMode(nw, tg, p, ModeCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewLoadStateMode(nw, tg, p, ModeWide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compact.Compact() || wide.Compact() {
+		t.Fatal("modes not honored")
+	}
+	tabC := make([]int, tg.N)
+	tabW := make([]int, tg.N)
+	check := func(m int) {
+		t.Helper()
+		if cs, ws := compact.Stats(), wide.Stats(); cs != ws {
+			t.Fatalf("move %d: stats diverged: compact %+v, wide %+v", m, cs, ws)
+		}
+		cm, ca := compact.Dilation()
+		wm, wa := wide.Dilation()
+		if cm != wm || ca != wa {
+			t.Fatalf("move %d: dilation diverged: compact (%d, %v), wide (%d, %v)", m, cm, ca, wm, wa)
+		}
+		compact.CopyTableInto(tabC)
+		wide.CopyTableInto(tabW)
+		for g := range tabC {
+			if tabC[g] != tabW[g] {
+				t.Fatalf("move %d: table diverged at guest %d: compact %d, wide %d", m, g, tabC[g], tabW[g])
+			}
+		}
+	}
+	check(-1)
+	for m := 0; m < 50; m++ {
+		if rng.Intn(2) == 0 {
+			u := rng.Intn(tg.N)
+			v := rng.Intn(tg.N - 1)
+			if v >= u {
+				v++
+			}
+			compact.Swap(u, v)
+			wide.Swap(u, v)
+		} else {
+			k := 2 + rng.Intn(4)
+			perm := rng.Perm(tg.N)[:k]
+			guests := make([]int32, k)
+			hosts := make([]int32, k)
+			for i, g := range perm {
+				guests[i] = int32(g)
+			}
+			for i := range guests {
+				hosts[i] = int32(compact.HostOf(int(guests[(i+1)%k])))
+			}
+			compact.Permute(guests, hosts)
+			wide.Permute(guests, hosts)
+		}
+		check(m)
+	}
+	if err := compact.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadStateStripedInitParity builds a LoadState large enough to take
+// the striped construction path (>= loadStripeMinEdges) and pins it to
+// the full batch measurements — the bit-for-bit identity of the
+// parallel merge.
+func TestLoadStateStripedInitParity(t *testing.T) {
+	host := grid.MeshSpec(16, 16, 16)
+	guest := grid.TorusSpec(16, 16, 16)
+	nw := New(host)
+	tg := taskgraph.FromSpec(guest)
+	if len(tg.Edges) < loadStripeMinEdges {
+		t.Fatalf("test pair has %d edges, below the striping threshold %d", len(tg.Edges), loadStripeMinEdges)
+	}
+	rd := host.NewRankDistancer()
+	rng := rand.New(rand.NewSource(31))
+	p := Placement(rng.Perm(nw.Size()))
+	ls, err := NewLoadState(nw, tg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, ls, nw, tg, guest, rd)
+}
+
+// TestCongestionHops pins the route-length histogram against per-edge
+// distances measured directly, and its stats against Congestion.
+func TestCongestionHops(t *testing.T) {
+	for _, tc := range parityCases {
+		nw := New(tc.host)
+		tg := taskgraph.FromSpec(tc.guest)
+		rng := rand.New(rand.NewSource(17))
+		p := Placement(rng.Perm(nw.Size())[:tg.N])
+		stats, hist, err := CongestionHops(nw, tg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Congestion(nw, tg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats != plain {
+			t.Fatalf("%s on %s: stats with histogram %+v, without %+v", tc.guest, tc.host, stats, plain)
+		}
+		want := map[int]int{}
+		cur := make(grid.Node, nw.shape.Dim())
+		target := make(grid.Node, nw.shape.Dim())
+		for _, e := range tg.Edges {
+			want[nw.walkLinks(p[e[0]], p[e[1]], cur, target, func(int) {})]++
+		}
+		if len(hist) != len(want) {
+			t.Fatalf("%s on %s: histogram %v, want %v", tc.guest, tc.host, hist, want)
+		}
+		for d, n := range want {
+			if hist[d] != n {
+				t.Fatalf("%s on %s: hist[%d] = %d, want %d", tc.guest, tc.host, d, hist[d], n)
+			}
+		}
 	}
 }
 

@@ -34,10 +34,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"torusmesh/internal/embed"
 	"torusmesh/internal/grid"
 	"torusmesh/internal/netsim"
+	"torusmesh/internal/par"
 )
 
 const (
@@ -81,12 +83,13 @@ func (c tableCosts) dominatesCosts(o tableCosts) bool {
 
 // evalTable measures a placement table exactly: the fused dilation pass
 // and the congestion routing — the same measurements every enumerated
-// candidate gets. It is the annealing pass's ground truth: the
-// incremental costs are validated against it.
+// candidate gets, with the dilation pass striped over edge blocks on
+// the par pool (EdgeDilationStriped is bit-identical to the serial
+// pass) so the per-4096-step re-validations inside an anneal run scale
+// with workers instead of stalling the run. It is the annealing pass's
+// ground truth: the incremental costs are validated against it.
 func (s *searcher) evalTable(tab embed.Table) (tableCosts, error) {
-	sc := s.scratch.Get().(*measureBufs)
-	dil, avg := s.cfg.Guest.EdgeDilation(tab, s.rd, sc.a, sc.b)
-	s.scratch.Put(sc)
+	dil, avg := s.cfg.Guest.EdgeDilationStriped(tab, s.rd)
 	stats, err := netsim.Congestion(s.nw, s.tg, netsim.Placement(tab))
 	if err != nil {
 		return tableCosts{}, err
@@ -145,7 +148,7 @@ func (ms *moveScratch) reset() {
 // host h.
 func (ms *moveScratch) add(ls *netsim.LoadState, g int32, h int32) {
 	ms.guests = append(ms.guests, g)
-	ms.prevHosts = append(ms.prevHosts, int32(ls.Table()[g]))
+	ms.prevHosts = append(ms.prevHosts, int32(ls.HostOf(int(g))))
 	ms.newHosts = append(ms.newHosts, h)
 }
 
@@ -216,7 +219,11 @@ func (ms *moveScratch) planeSwap(ls *netsim.LoadState, rng *rand.Rand, n int) bo
 // steps and once more on the returned best.
 func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *rand.Rand) (embed.Table, tableCosts, error) {
 	n := len(tab)
-	ls, err := netsim.NewLoadState(s.nw, s.tg, netsim.Placement(tab))
+	mode := netsim.ModeAuto
+	if s.cfg.WideTables {
+		mode = netsim.ModeWide
+	}
+	ls, err := netsim.NewLoadStateMode(s.nw, s.tg, netsim.Placement(tab), mode)
 	if err != nil {
 		return nil, tableCosts{}, err
 	}
@@ -237,6 +244,7 @@ func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *
 	t0 := 1 + 0.1*start.score
 	const tEnd = 0.01
 	var i, j int
+	var snap embed.Table // revalidation table snapshot, allocated on first use
 	for step := 0; step < steps; step++ {
 		temp := t0 * math.Pow(tEnd/t0, float64(step)/float64(steps))
 		// Propose: swaps draw (i, j) exactly as the pre-incremental
@@ -276,7 +284,7 @@ func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *
 			// the admission gate accepts.
 			if c.score < best.score || c.dominatesCosts(best) {
 				best = c
-				copy(bestTab, ls.Table())
+				ls.CopyTableInto(bestTab)
 			}
 		} else if kind == moveSwap {
 			ls.Swap(i, j) // reject: undo the swap
@@ -284,7 +292,11 @@ func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *
 			ls.Permute(ms.guests, ms.prevHosts) // reject: replay the old hosts
 		}
 		if (step+1)%annealRevalidateEvery == 0 {
-			full, err := s.evalTable(embed.Table(ls.Table()))
+			if snap == nil {
+				snap = make(embed.Table, n)
+			}
+			ls.CopyTableInto(snap)
+			full, err := s.evalTable(snap)
 			if err != nil {
 				return nil, tableCosts{}, err
 			}
@@ -336,12 +348,30 @@ func annealSeeds(scored, front []Candidate) (seeds []Candidate, skipped int) {
 	return seeds, skipped
 }
 
+// annealOutcome is one seed's finished run, parked until the ordered
+// admission loop reaches its position.
+type annealOutcome struct {
+	tab     embed.Table
+	got     tableCosts
+	elapsed time.Duration
+	err     error
+}
+
 // annealFront runs the refinement pass: each selected seed (annealSeeds
 // over the scored cross product) gets one annealing run, refined
 // placements strictly dominating their seed become annealed candidates
 // (indices continuing past the enumerated variants), and the front is
 // recomputed over the union. Counters and tables are recorded on res /
 // tables for the caller.
+//
+// Runs execute concurrently on the par pool — each is a self-contained
+// LoadState with its own RNG derived from (Config.Seed, seed position),
+// so no state is shared — but everything order-dependent happens in a
+// second, strictly seed-ordered loop over the parked outcomes: error
+// selection (the lowest seed position wins, as when runs were
+// sequential), run counting, and admission. The result is therefore
+// independent of scheduling and GOMAXPROCS; the determinism tests pin
+// it.
 func (s *searcher) annealFront(variants []variantSpec, scored, front []Candidate, res *Result, tables map[int]embed.Table) ([]Candidate, error) {
 	cfg := s.cfg
 	seeds, skipped := annealSeeds(scored, front)
@@ -350,19 +380,39 @@ func (s *searcher) annealFront(variants []variantSpec, scored, front []Candidate
 	if cfg.AnnealMoves == AnnealMovesAll {
 		noun = "moves"
 	}
+	outs := make([]annealOutcome, len(seeds))
+	par.Blocks(len(seeds), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			seed := seeds[k]
+			t0 := time.Now()
+			e, err := s.build(variants[seed.Index])
+			if err != nil {
+				outs[k] = annealOutcome{err: fmt.Errorf("place: anneal: rebuilding seed %d: %v", seed.Index, err)}
+				continue
+			}
+			start := tableCosts{dil: seed.Dilation, avg: seed.AvgDilation, peak: seed.Peak, avgLink: seed.AvgLink, score: seed.Score}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+			tab, got, err := s.annealRun(embed.Table(e.Table()), start, cfg.AnnealSteps, rng)
+			if err != nil {
+				outs[k] = annealOutcome{err: fmt.Errorf("place: anneal: seed %d: %v", seed.Index, err)}
+				continue
+			}
+			outs[k] = annealOutcome{tab: tab, got: got, elapsed: time.Since(t0)}
+		}
+	})
 	var refined []Candidate
 	for k, seed := range seeds {
-		e, err := s.build(variants[seed.Index])
-		if err != nil {
-			return nil, fmt.Errorf("place: anneal: rebuilding seed %d: %v", seed.Index, err)
+		out := outs[k]
+		if out.err != nil {
+			return nil, out.err
 		}
-		start := tableCosts{dil: seed.Dilation, avg: seed.AvgDilation, peak: seed.Peak, avgLink: seed.AvgLink, score: seed.Score}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
-		tab, got, err := s.annealRun(embed.Table(e.Table()), start, cfg.AnnealSteps, rng)
-		if err != nil {
-			return nil, fmt.Errorf("place: anneal: seed %d: %v", seed.Index, err)
-		}
+		got := out.got
 		res.Annealed++
+		res.AnnealRuns = append(res.AnnealRuns, AnnealRunStat{
+			SeedIndex: seed.Index,
+			Steps:     cfg.AnnealSteps,
+			Elapsed:   out.elapsed,
+		})
 		c := Candidate{
 			Index:         len(variants) + k,
 			Strategy:      "anneal",
@@ -382,7 +432,7 @@ func (s *searcher) annealFront(variants []variantSpec, scored, front []Candidate
 		if !dominates(c, seed) {
 			continue
 		}
-		tables[c.Index] = tab
+		tables[c.Index] = out.tab
 		refined = append(refined, c)
 	}
 	if len(refined) == 0 {

@@ -227,6 +227,14 @@ type Config struct {
 	// DefaultAnnealSeed). Two searches with equal configs — seed
 	// included — produce identical artifacts.
 	Seed int64
+	// WideTables forces the annealing pass's placement tables into the
+	// historical []int representation. By default the pass uses compact
+	// int32 tables whenever the host's ranks fit (always, for any host
+	// below 2³¹ nodes), halving table memory. The two representations
+	// are bit-for-bit identical in results, so this knob exists for
+	// benchmarks and escape-hatch debugging and is deliberately NOT part
+	// of Config.Spec(): artifacts do not depend on it.
+	WideTables bool
 	// Strategies are the base constructions; Strategies[0] is the
 	// baseline the search reports against. At least one is required.
 	Strategies []Strategy
@@ -518,9 +526,22 @@ type Result struct {
 	// artifact, like Elapsed.
 	Pruned  int           `json:"-"`
 	Elapsed time.Duration `json:"-"`
+	// AnnealRuns reports per-run annealing telemetry in seed order —
+	// what the CLI's steps/sec line is computed from. Run wall times
+	// depend on scheduling, so the field is excluded from the artifact.
+	AnnealRuns []AnnealRunStat `json:"-"`
 	// BestEmbedding is the verified winning embedding, for callers
 	// that want to use the placement rather than just read its costs.
 	BestEmbedding *embed.Embedding `json:"-"`
+}
+
+// AnnealRunStat is one annealing run's telemetry: the index of the
+// scored candidate it refined, its move budget, and its wall time
+// (scheduling-dependent; never serialized).
+type AnnealRunStat struct {
+	SeedIndex int
+	Steps     int
+	Elapsed   time.Duration
 }
 
 // Improved reports whether the search found a candidate with a strictly
