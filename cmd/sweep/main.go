@@ -28,6 +28,10 @@
 // killed worker leaves a usable prefix. With -resume the worker scans
 // a partial stream artifact first and skips pairs already present.
 //
+// Census artifacts from -place sweeps double as warm input for the
+// placement service: `placed -warm 'census-*.json'` (or POST /warm)
+// pre-seeds its cache from every pair a census already searched.
+//
 // Exit codes: 0 = success; 1 = verification failures (a construction
 // broke injectivity or its dilation guarantee — a library bug; not
 // used in -worker mode, where failures travel inside the records); 2 =

@@ -125,6 +125,19 @@
 // retry history, or resume split, the final artifact is byte-identical
 // to a single unsharded run.
 //
+// # The placement service
+//
+// The fifth engine (internal/serve, CLI: cmd/placed) fronts the
+// placement search as a long-running HTTP server answering "place
+// guest G on host H" at interactive latency: requests normalize to
+// their canonical pair (guest relabelings that provably share a
+// Pareto front share one cache entry), concurrent cold misses
+// singleflight into exactly one background search, the paper-baseline
+// construction answers instantly while the search runs, and entries
+// persist as the same versioned artifacts `place -json` writes — a
+// warm cache directory and batch output are interchangeable, and
+// census artifacts bulk-seed the cache (`placed -warm`, POST /warm).
+//
 // All public entry points are thin veneers over the internal packages;
 // see ARCHITECTURE.md for the engine and module map, README.md for CLI
 // usage, and internal/experiments (cmd/experiments) for the

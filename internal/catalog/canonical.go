@@ -1,0 +1,181 @@
+// Canonical-pair keying for the placement-serving layer: two requests
+// whose (guest, host) pairs differ only by symmetries that provably
+// preserve every placement metric must share one cache entry, with a
+// recorded permutation to translate placements back to the caller's
+// labeling on the way out.
+//
+// Which symmetries qualify is deliberately asymmetric:
+//
+//   - Guest axis order is canonicalized (lengths sorted non-increasing,
+//     the CanonicalShapesOfSize representative). Relabeling guest axes
+//     is a graph isomorphism, so composing a placement with it maps the
+//     guest edge set onto the same multiset of (src, dst) host pairs:
+//     dilation, every link load, and hence the whole Pareto front carry
+//     over exactly.
+//   - Hypercube kinds fold to Torus. On all-2 shapes torus and mesh are
+//     the same graph (grid deduplicates the coinciding wrap edge), and
+//     dimension-ordered routing differs only in which of the two
+//     directed links between a coinciding node pair carries the hop
+//     (the torus router breaks the length-2 tie toward the + step),
+//     a relabeling of links that preserves the load multiset — MaxLink,
+//     TotalHops, UsedLinks and the hop histogram are all unchanged.
+//   - Host axis order is NOT canonicalized. Dimension-ordered routing
+//     corrects host axes in index order, so relabeling host axes
+//     genuinely changes link loads — it is the very symmetry the
+//     placement search's host-permutation generator enumerates
+//     (AxisOrderings' doc note). Folding it into the key would serve
+//     congestion numbers the caller's own labeling cannot reproduce.
+//
+// Canonicalization is idempotent and deterministic, so the key is a
+// pure function of the pair and canonicalizing twice equals once — the
+// properties FuzzCanonicalPair pins.
+
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"torusmesh/internal/grid"
+	"torusmesh/internal/perm"
+)
+
+// canonicalKind folds the hypercube coincidence: on all-2 shapes torus
+// and mesh are the same graph, keyed as Torus.
+func canonicalKind(sp grid.Spec) grid.Kind {
+	if sp.Shape.IsHypercube() {
+		return grid.Torus
+	}
+	return sp.Kind
+}
+
+// CanonicalGuest returns the canonical form of a guest spec — axis
+// lengths sorted non-increasing, hypercube kind folded to torus — plus
+// the normalizing permutation p with
+//
+//	canonical.Shape = perm.Apply(p, s.Shape).
+//
+// The sort is stable (equal lengths keep their relative order), so p is
+// deterministic and the identity whenever s is already canonical.
+func CanonicalGuest(s grid.Spec) (grid.Spec, perm.Perm) {
+	d := s.Dim()
+	p := make(perm.Perm, d)
+	for i := range p {
+		p[i] = i
+	}
+	sort.SliceStable(p, func(a, b int) bool { return s.Shape[p[a]] > s.Shape[p[b]] })
+	canon := grid.Spec{Kind: canonicalKind(s), Shape: perm.Apply(p, []int(s.Shape))}
+	return canon, p
+}
+
+// CanonicalHost returns the canonical form of a host spec: only the
+// hypercube kind fold — host axis order is metrically significant (see
+// the file comment) and passes through untouched. The returned
+// permutation is always the identity, carried so PairKey treats both
+// sides uniformly.
+func CanonicalHost(s grid.Spec) (grid.Spec, perm.Perm) {
+	canon := grid.Spec{Kind: canonicalKind(s), Shape: s.Shape.Clone()}
+	return canon, perm.Identity(s.Dim())
+}
+
+// PairKey is the canonical identity of one (guest, host) placement pair:
+// the canonical specs, plus the normalizing axis permutations that
+// translate between the caller's labeling and the canonical one.
+// Construct it with CanonicalPair; the fields are exported for tests.
+type PairKey struct {
+	// Guest and Host are the canonical pair the key denotes — the pair
+	// a search actually runs on.
+	Guest, Host grid.Spec
+	// GuestPerm and HostPerm are the normalizing permutations:
+	// Guest.Shape = Apply(GuestPerm, userGuest.Shape), and likewise for
+	// the host (where the permutation is currently always the
+	// identity).
+	GuestPerm, HostPerm perm.Perm
+}
+
+// CanonicalPair canonicalizes one placement pair. It fails when either
+// shape is invalid or the sizes differ — the same validation a search
+// would apply, surfaced before any cache lookup.
+func CanonicalPair(g, h grid.Spec) (PairKey, error) {
+	if err := g.Shape.Validate(); err != nil {
+		return PairKey{}, fmt.Errorf("catalog: guest: %v", err)
+	}
+	if err := h.Shape.Validate(); err != nil {
+		return PairKey{}, fmt.Errorf("catalog: host: %v", err)
+	}
+	if g.Size() != h.Size() {
+		return PairKey{}, fmt.Errorf("catalog: guest %s has %d nodes but host %s has %d; sizes must match",
+			g, g.Size(), h, h.Size())
+	}
+	k := PairKey{}
+	k.Guest, k.GuestPerm = CanonicalGuest(g)
+	k.Host, k.HostPerm = CanonicalHost(h)
+	return k, nil
+}
+
+// String renders the cache-key form, e.g. "torus:8x2->mesh:4x4". Two
+// pairs share a cache entry exactly when their keys render equally.
+func (k PairKey) String() string {
+	return fmt.Sprintf("%s:%s->%s:%s", k.Guest.Kind, k.Guest.Shape, k.Host.Kind, k.Host.Shape)
+}
+
+// Identity reports whether the key's pair already is canonical — no
+// translation needed in either direction.
+func (k PairKey) Identity() bool {
+	for i, v := range k.GuestPerm {
+		if v != i {
+			return false
+		}
+	}
+	for i, v := range k.HostPerm {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// rankMap returns the rank translation of an axis relabeling: the rank
+// in the permuted shape Apply(p, from) of the node holding rank r in
+// from.
+func rankMap(from grid.Shape, p perm.Perm) func(r int) int {
+	to := grid.Shape(perm.Apply(p, []int(from)))
+	node := make(grid.Node, from.Dim())
+	permuted := make(grid.Node, from.Dim())
+	return func(r int) int {
+		from.NodeInto(node, r)
+		perm.ApplyInto(p, node, permuted)
+		return to.Index(permuted)
+	}
+}
+
+// DenormalizePlacement translates a placement of the canonical pair
+// (table[canonical guest rank] = canonical host rank) into the caller's
+// original labeling. The result places the caller's guest on the
+// caller's host with exactly the costs measured on the canonical pair:
+// guest relabeling is a graph isomorphism and the host translation is
+// the identity (see the file comment), so the routed (src, dst)
+// multiset — and with it dilation, peak and per-link loads — is
+// unchanged. NormalizePlacement inverts it.
+func (k PairKey) DenormalizePlacement(table []int) []int {
+	guestToCanon := rankMap(grid.Shape(perm.Apply(k.GuestPerm.Inverse(), []int(k.Guest.Shape))), k.GuestPerm)
+	canonToUserHost := rankMap(k.Host.Shape, k.HostPerm.Inverse())
+	out := make([]int, len(table))
+	for r := range out {
+		out[r] = canonToUserHost(table[guestToCanon(r)])
+	}
+	return out
+}
+
+// NormalizePlacement translates a placement given in the caller's
+// labeling into the canonical pair's labeling — the inverse of
+// DenormalizePlacement.
+func (k PairKey) NormalizePlacement(table []int) []int {
+	canonToUserGuest := rankMap(k.Guest.Shape, k.GuestPerm.Inverse())
+	userToCanonHost := rankMap(grid.Shape(perm.Apply(k.HostPerm.Inverse(), []int(k.Host.Shape))), k.HostPerm)
+	out := make([]int, len(table))
+	for r := range out {
+		out[r] = userToCanonHost(table[canonToUserGuest(r)])
+	}
+	return out
+}

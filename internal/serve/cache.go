@@ -1,0 +1,136 @@
+// The persistent cache: one place artifact per canonical pair, plus a
+// sidecar binding the directory to the search spec that produced it.
+// Files are the exact bytes place.Result.EncodeBytes() returns — the
+// same bytes `place -json` writes — so a cache directory and a batch
+// search's output are interchangeable in both directions.
+
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/place"
+)
+
+// specFileName is the sidecar binding a cache directory to one search
+// spec. Artifacts do not record every Spec() token (budget and cap
+// are in the artifact, annealing knobs are, but strategies are named
+// only indirectly), so the sidecar is what makes a mismatched reuse a
+// startup error instead of silently served wrong fronts.
+const specFileName = "place.spec"
+
+// keyFileReplacer renders a pair key as a filename:
+// "torus:8x2->mesh:4x4" becomes "torus-8x2__mesh-4x4.json".
+var keyFileReplacer = strings.NewReplacer("->", "__", ":", "-")
+
+func fileName(id string) string { return keyFileReplacer.Replace(id) + ".json" }
+
+// parseArtifactSpec parses the rendered grid.Spec.String() form the
+// artifacts record — "torus(8x2)", "ring(24)" — by translating it to
+// the colon form grid.ParseSpec accepts.
+func parseArtifactSpec(s string) (grid.Spec, error) {
+	return grid.ParseSpec(strings.NewReplacer("(", ":", ")", "").Replace(s))
+}
+
+// openCache binds the server to its cache directory: creates it,
+// writes or verifies the spec sidecar, and restores every stored
+// front. Runs before the workers start, so no locking is needed.
+func (s *Server) openCache() error {
+	dir := s.cfg.CacheDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: cache dir: %v", err)
+	}
+	specPath := filepath.Join(dir, specFileName)
+	switch b, err := os.ReadFile(specPath); {
+	case err == nil:
+		if got := strings.TrimSpace(string(b)); got != s.spec {
+			return fmt.Errorf("serve: cache dir %s holds fronts searched under a different spec\n  cache:  %s\n  server: %s",
+				dir, got, s.spec)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		if err := os.WriteFile(specPath, []byte(s.spec+"\n"), 0o644); err != nil {
+			return fmt.Errorf("serve: write cache spec: %v", err)
+		}
+	default:
+		return fmt.Errorf("serve: read cache spec: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := s.loadEntry(p); err != nil {
+			s.cacheLoadErrors.Add(1)
+			s.cfg.Log("serve: skipping cache file %s: %v", p, err)
+		}
+	}
+	return nil
+}
+
+// loadEntry restores one stored front as an already-searched entry.
+// The pair key is re-derived from the artifact's own guest/host
+// fields and must both be canonical and match the filename, so a
+// renamed or foreign artifact is skipped instead of shadowing a pair.
+func (s *Server) loadEntry(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := place.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	g, err := parseArtifactSpec(res.Guest)
+	if err != nil {
+		return err
+	}
+	h, err := parseArtifactSpec(res.Host)
+	if err != nil {
+		return err
+	}
+	key, err := catalog.CanonicalPair(g, h)
+	if err != nil {
+		return err
+	}
+	if !key.Identity() {
+		return fmt.Errorf("artifact pair %s->%s is not canonical", res.Guest, res.Host)
+	}
+	if want := fileName(key.String()); want != filepath.Base(path) {
+		return fmt.Errorf("file name does not match its pair key (want %s)", want)
+	}
+	e, err := newEntry(key)
+	if err != nil {
+		return err
+	}
+	e.res = res
+	e.artifact = raw
+	e.state.Store(int32(SearchDone))
+	close(e.done)
+	s.entries[e.id] = e
+	s.cacheLoaded.Add(1)
+	return nil
+}
+
+// store persists one searched entry's artifact atomically (write to a
+// temp file in the directory, then rename): a crash mid-write leaves
+// at worst a .tmp file the next load ignores, never a torn artifact.
+func (s *Server) store(e *entry) error {
+	if s.cfg.CacheDir == "" {
+		return nil
+	}
+	path := filepath.Join(s.cfg.CacheDir, fileName(e.id))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, e.artifact, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,229 @@
+// The HTTP surface of the placement service. Four endpoints:
+//
+//	GET  /place?from=torus:8x2&to=mesh:4x4[&wait=1][&table=1]
+//	GET  /artifact?from=...&to=...
+//	GET  /status
+//	POST /warm          (body: a census artifact, JSON or NDJSON)
+//
+// /place answers in the versioned Response schema below; /artifact
+// serves the raw stored place artifact (404 until the pair's search
+// has finished) so clients and CI can byte-compare against `place
+// -json` output; /warm accepts a sweep/sweepd census artifact in
+// either encoding and pre-seeds the cache from it.
+
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"torusmesh/internal/census"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/place"
+)
+
+// ResponseSchemaVersion versions the /place wire format. Bump it on
+// any shape change and regenerate the golden (go test ./internal/serve
+// -run TestHTTPPlaceGolden -update).
+const ResponseSchemaVersion = 1
+
+// Response is one /place answer.
+type Response struct {
+	Schema int `json:"schema"`
+	// Guest and Host echo the request; CanonicalGuest/CanonicalHost
+	// are the cache identity actually served, with GuestPerm the axis
+	// permutation between the two labelings (absent = identity; host
+	// axes are never permuted — see catalog's canonical-pair notes).
+	Guest          string `json:"guest"`
+	Host           string `json:"host"`
+	CanonicalGuest string `json:"canonical_guest"`
+	CanonicalHost  string `json:"canonical_host"`
+	GuestPerm      []int  `json:"guest_perm,omitempty"`
+	// Tier is "baseline" or "searched"; Search reports the background
+	// search ("queued", "running", "done", "failed"), with SearchError
+	// set when failed.
+	Tier        string `json:"tier"`
+	Search      string `json:"search"`
+	SearchError string `json:"search_error,omitempty"`
+	// Baseline is set on the baseline tier; Result — the full search
+	// artifact document — on the searched tier.
+	Baseline *place.Candidate `json:"baseline,omitempty"`
+	Result   *place.Result    `json:"result,omitempty"`
+	// Placement (with ?table=1) is the served placement table in the
+	// request's own labeling: placement[guest rank] = host rank. On
+	// the searched tier it is the front's winning candidate.
+	Placement []int `json:"placement,omitempty"`
+}
+
+// errorResponse is the JSON error body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/place", s.handlePlace)
+	mux.HandleFunc("/artifact", s.handleArtifact)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/warm", s.handleWarm)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errorCode maps a Place error to its HTTP status.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrBadPair):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnembeddable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// pairParams parses the from/to query parameters shared by /place and
+// /artifact.
+func pairParams(r *http.Request) (g, h grid.Spec, err error) {
+	q := r.URL.Query()
+	from, to := q.Get("from"), q.Get("to")
+	if from == "" || to == "" {
+		return g, h, errors.New("both from and to are required, e.g. ?from=torus:8x2&to=mesh:4x4")
+	}
+	if g, err = grid.ParseSpec(from); err != nil {
+		return g, h, err
+	}
+	if h, err = grid.ParseSpec(to); err != nil {
+		return g, h, err
+	}
+	return g, h, nil
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	g, h, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := s.Place(r.Context(), g, h, boolParam(r, "wait"))
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	resp := &Response{
+		Schema:         ResponseSchemaVersion,
+		Guest:          g.String(),
+		Host:           h.String(),
+		CanonicalGuest: a.Key.Guest.String(),
+		CanonicalHost:  a.Key.Host.String(),
+		Tier:           string(a.Tier),
+		Search:         a.State.String(),
+		Baseline:       a.Baseline,
+		Result:         a.Result,
+	}
+	if !a.Key.Identity() {
+		resp.GuestPerm = a.Key.GuestPerm
+	}
+	if a.SearchErr != nil {
+		resp.SearchError = a.SearchErr.Error()
+	}
+	if boolParam(r, "table") {
+		table, err := s.Table(a)
+		if err != nil {
+			writeError(w, errorCode(err), "%v", err)
+			return
+		}
+		resp.Placement = table
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	g, h, err := pairParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	artifact, err := s.Artifact(g, h)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	if artifact == nil {
+		writeError(w, http.StatusNotFound, "no searched front for this pair yet; request /place to start one")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(artifact)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// censusStreamPrefix mirrors the census package's stream sniff: every
+// NDJSON stream artifact opens with this header prefix.
+const censusStreamPrefix = `{"stream":`
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a census artifact (JSON or NDJSON stream)")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var c *census.Census
+	if bytes.HasPrefix(body, []byte(censusStreamPrefix)) {
+		c, err = census.ReadStream(bytes.NewReader(body))
+	} else {
+		c, err = census.Decode(bytes.NewReader(body))
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ws, err := s.WarmCensus(c)
+	if err != nil {
+		writeError(w, errorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ws)
+}

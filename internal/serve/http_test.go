@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"torusmesh/internal/census"
+	"torusmesh/internal/embed"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/place"
+)
+
+// update regenerates the golden wire-format files:
+//
+//	go test ./internal/serve -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden byte-compares a response body against its pinned golden
+// file, so any wire-format drift is a reviewed diff (the same pattern
+// as the census artifact golden).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden pin.\nIf the change is intentional, bump the schema version and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// get fetches a path and returns status and body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHTTPSearchedGolden pins the searched-tier /place response and
+// the /status document for the README's worked example pair,
+// torus(8x2) -> mesh(4x4).
+func TestHTTPSearchedGolden(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/place?from=torus:8x2&to=mesh:4x4&wait=1&table=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	checkGolden(t, "placed-v1-searched.golden.json", body)
+
+	srv.Flush() // settle the worker's counters before snapshotting
+	code, body = get(t, ts, "/status")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	checkGolden(t, "placed-v1-status.golden.json", body)
+}
+
+// TestHTTPBaselineGolden pins the baseline-tier response: the single
+// search worker is parked on a decoy pair, so the requested pair's
+// search is deterministically still queued when the response renders.
+func TestHTTPBaselineGolden(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.searchFn = func(pc place.Config) (*place.Result, error) {
+		<-release
+		return place.Search(pc)
+	}
+	srv := newTestServer(t, cfg)
+	t.Cleanup(func() { close(release) }) // runs before srv.Close
+
+	// Park the worker: the decoy is enqueued first, so the golden
+	// pair's search sits behind it in the FIFO queue.
+	if _, err := srv.Place(context.Background(), grid.TorusSpec(4, 2), grid.MeshSpec(4, 2), false); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/place?from=torus:8x2&to=mesh:4x4&table=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	checkGolden(t, "placed-v1-baseline.golden.json", body)
+}
+
+// TestHTTPArtifactParity: /artifact 404s until the search lands, then
+// serves the exact bytes `place -json` writes for the pair.
+func TestHTTPArtifactParity(t *testing.T) {
+	srv := newTestServer(t, testConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts, "/artifact?from=torus:8x2&to=mesh:4x4"); code != http.StatusNotFound {
+		t.Fatalf("cold artifact fetch returned %d, want 404", code)
+	}
+	if code, body := get(t, ts, "/place?from=torus:8x2&to=mesh:4x4&wait=1"); code != http.StatusOK {
+		t.Fatalf("place returned %d: %s", code, body)
+	}
+	_, refBytes := refSearch(t, grid.TorusSpec(8, 2), grid.MeshSpec(4, 4))
+	code, body := get(t, ts, "/artifact?from=torus:8x2&to=mesh:4x4")
+	if code != http.StatusOK {
+		t.Fatalf("artifact fetch returned %d", code)
+	}
+	if !bytes.Equal(body, refBytes) {
+		t.Fatal("/artifact bytes differ from the batch search artifact")
+	}
+	// A relabeled guest shares the canonical entry.
+	code, relabeled := get(t, ts, "/artifact?from=torus:2x8&to=mesh:4x4")
+	if code != http.StatusOK || !bytes.Equal(relabeled, refBytes) {
+		t.Fatalf("relabeled guest did not hit the canonical entry (status %d)", code)
+	}
+}
+
+// TestHTTPWarmEndpoint: POST /warm accepts the census artifact in
+// both encodings and pre-seeds the cache.
+func TestHTTPWarmEndpoint(t *testing.T) {
+	g, h := grid.TorusSpec(4, 2), grid.MeshSpec(4, 2)
+	ref, refBytes := refSearch(t, g, h)
+	warmCensus := &census.Census{
+		Version:   census.ArtifactVersion,
+		Size:      8,
+		Shards:    1,
+		Placed:    true,
+		PlaceSpec: testConfig().Place.Spec(),
+		Results: []census.PairResult{
+			{Guest: g.String(), Host: h.String(), Place: place.Summary(ref.Best)},
+		},
+	}
+
+	encodings := map[string]func() []byte{
+		"json": func() []byte {
+			b, err := warmCensus.EncodeBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+		"stream": func() []byte {
+			var buf bytes.Buffer
+			if err := census.WriteStream(&buf, warmCensus); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+	}
+	for name, encode := range encodings {
+		t.Run(name, func(t *testing.T) {
+			srv := newTestServer(t, testConfig())
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			resp, err := http.Post(ts.URL+"/warm", "application/json", bytes.NewReader(encode()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("warm returned %d: %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), `"queued": 1`) {
+				t.Fatalf("warm response = %s, want 1 queued", body)
+			}
+			srv.Flush()
+			code, artifact := get(t, ts, fmt.Sprintf("/artifact?from=torus:4x2&to=mesh:4x2"))
+			if code != http.StatusOK || !bytes.Equal(artifact, refBytes) {
+				t.Fatalf("warmed artifact differs (status %d)", code)
+			}
+		})
+	}
+}
+
+// TestHTTPErrors maps the failure modes to their status codes.
+func TestHTTPErrors(t *testing.T) {
+	cfg := testConfig()
+	// An always-failing baseline makes every pair unembeddable.
+	broken := cfg
+	broken.Place.Strategies = []place.Strategy{{
+		Name:  "never",
+		Embed: func(g, h grid.Spec) (*embed.Embedding, error) { return nil, fmt.Errorf("never embeds") },
+	}}
+
+	srv := newTestServer(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/place", http.StatusBadRequest},                            // missing params
+		{"/place?from=bogus&to=mesh:4x4", http.StatusBadRequest},     // unparsable spec
+		{"/place?from=torus:4x2&to=mesh:4x4", http.StatusBadRequest}, // size mismatch
+		{"/artifact?from=torus:9x9&to=torus:9x9", http.StatusNotFound},
+		{"/warm", http.StatusMethodNotAllowed}, // GET on a POST endpoint
+	}
+	for _, tc := range cases {
+		if code, body := get(t, ts, tc.path); code != tc.want {
+			t.Errorf("GET %s = %d (%s), want %d", tc.path, code, body, tc.want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/place?from=torus:4x2&to=mesh:4x2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /place = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/warm", "application/json", strings.NewReader("not a census"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /warm garbage = %d, want 400", resp.StatusCode)
+	}
+
+	bsrv := newTestServer(t, broken)
+	bts := httptest.NewServer(bsrv.Handler())
+	defer bts.Close()
+	if code, body := get(t, bts, "/place?from=torus:4x2&to=mesh:4x2"); code != http.StatusUnprocessableEntity {
+		t.Errorf("unembeddable pair = %d (%s), want 422", code, body)
+	}
+}

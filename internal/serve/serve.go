@@ -1,0 +1,599 @@
+// Package serve is the serving engine: it turns the batch placement
+// pipeline into a long-running service answering "place guest G on
+// host H" at interactive latency.
+//
+// The serving model is two-tier. Every request is first normalized to
+// its canonical pair (catalog.CanonicalPair), so all relabelings that
+// provably share a Pareto front share one cache entry. A hit returns
+// the stored searched front; a miss answers immediately with the
+// paper-baseline embedding (the first strategy at identity symmetries
+// — the same candidate a search reports as Baseline) while exactly one
+// background search per canonical pair runs to upgrade the entry.
+// Concurrent misses are deduplicated by the entry map itself: the
+// request that creates the entry enqueues the one search, every other
+// request joins it.
+//
+// Entries persist as the versioned place artifact, bit-for-bit the
+// bytes `place -pareto -json` writes for the same pair and settings,
+// so the cache directory is interchangeable with batch search output.
+// A directory is bound to one search spec (place.Config.Spec(), kept
+// in a sidecar file); opening it under different settings is refused
+// rather than silently serving fronts from another objective.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+	"torusmesh/internal/grid"
+	"torusmesh/internal/netsim"
+	"torusmesh/internal/place"
+	"torusmesh/internal/taskgraph"
+)
+
+// Sentinel errors, wrapped by Place so the HTTP layer can map them to
+// status codes without string matching.
+var (
+	// ErrClosed reports a request against a closed server.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBadPair reports a pair that cannot be canonicalized: invalid
+	// shapes or mismatched sizes.
+	ErrBadPair = errors.New("serve: invalid pair")
+	// ErrUnembeddable reports a pair the baseline strategy cannot
+	// embed — there is nothing to serve at either tier.
+	ErrUnembeddable = errors.New("serve: pair has no baseline embedding")
+)
+
+// Config describes one server.
+type Config struct {
+	// Place is the search-settings template: its Guest and Host are
+	// overwritten per pair, everything else (objective, budget, cap,
+	// generators, annealing knobs, strategies) applies to every search
+	// the server runs. Strategies[0] is also the baseline tier.
+	Place place.Config
+	// CacheDir, when set, persists every searched front as a place
+	// artifact and reloads the directory on startup. The directory is
+	// bound to Place.Spec() via a sidecar file; a mismatch fails New.
+	CacheDir string
+	// SearchWorkers is the number of concurrent background searches
+	// (<= 0 means 1).
+	SearchWorkers int
+	// Log, when set, receives diagnostic lines (cache skips, search
+	// failures, census mismatches). Nil discards them.
+	Log func(format string, args ...any)
+
+	// searchFn substitutes the search function in tests; nil means
+	// place.Search.
+	searchFn func(place.Config) (*place.Result, error)
+}
+
+// SearchState is the lifecycle of one entry's background search.
+type SearchState int32
+
+const (
+	// SearchQueued: the search is enqueued but no worker has picked it
+	// up yet.
+	SearchQueued SearchState = iota
+	// SearchRunning: a worker is searching the pair now.
+	SearchRunning
+	// SearchDone: the searched front is available (terminal).
+	SearchDone
+	// SearchFailed: the search failed; the error is cached and the
+	// entry keeps serving the baseline tier (terminal — search is
+	// deterministic, so retrying cannot help).
+	SearchFailed
+)
+
+func (s SearchState) String() string {
+	switch s {
+	case SearchQueued:
+		return "queued"
+	case SearchRunning:
+		return "running"
+	case SearchDone:
+		return "done"
+	case SearchFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Tier labels which answer tier a response carries.
+type Tier string
+
+const (
+	// TierBaseline is the instant tier: the paper construction,
+	// measured but not searched.
+	TierBaseline Tier = "baseline"
+	// TierSearched is the upgraded tier: the full Pareto front.
+	TierSearched Tier = "searched"
+)
+
+// entry is one canonical pair's cache slot. The done channel settles
+// exactly once — when the background search finishes (either way) or,
+// for entries loaded from disk, before the entry is published — and
+// res/artifact/searchErr are written strictly before it closes, so
+// readers that observed <-done need no lock.
+type entry struct {
+	key catalog.PairKey // canonical pair, identity perms
+	id  string          // key.String()
+
+	baselineOnce sync.Once
+	baseline     *place.Candidate
+	baselineErr  error
+
+	state atomic.Int32 // SearchState
+	done  chan struct{}
+
+	res       *place.Result
+	artifact  []byte
+	searchErr error
+
+	// warm is the winner summary recorded by the census this entry was
+	// pre-seeded from, when that census ran under the server's exact
+	// search spec; the finished search is cross-checked against it.
+	warm *census.PlaceSummary
+
+	// table memoizes the winner's canonical placement table (built on
+	// demand: entries loaded from disk re-derive it by re-running the
+	// deterministic search).
+	tableMu sync.Mutex
+	table   []int
+}
+
+// Server is the cache-backed placement service. Create with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	cfg       Config
+	spec      string // cfg.Place.Spec()
+	objective place.Objective
+	search    func(place.Config) (*place.Result, error)
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	pending  []*entry
+	cond     *sync.Cond
+	inflight int
+	closed   bool
+
+	wg       sync.WaitGroup // workers
+	searchWG sync.WaitGroup // queued or running searches (Flush)
+
+	requests        atomic.Int64
+	hits            atomic.Int64
+	misses          atomic.Int64
+	baselineServed  atomic.Int64
+	searches        atomic.Int64
+	searchFailures  atomic.Int64
+	warmQueued      atomic.Int64
+	warmMismatches  atomic.Int64
+	cacheLoaded     atomic.Int64
+	cacheLoadErrors atomic.Int64
+}
+
+// New builds a server, loads the persistent cache (when configured)
+// and starts the background search workers.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Place.Strategies) == 0 {
+		return nil, errors.New("serve: at least one strategy is required")
+	}
+	if cfg.SearchWorkers <= 0 {
+		cfg.SearchWorkers = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	search := cfg.searchFn
+	if search == nil {
+		search = place.Search
+	}
+	obj := cfg.Place.Objective
+	if (obj == place.Objective{}) {
+		obj = place.DefaultObjective()
+	}
+	s := &Server{
+		cfg:       cfg,
+		spec:      cfg.Place.Spec(),
+		objective: obj,
+		search:    search,
+		entries:   map[string]*entry{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.CacheDir != "" {
+		if err := s.openCache(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.SearchWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Spec returns the canonical search-settings string every entry of
+// this server is produced under.
+func (s *Server) Spec() string { return s.spec }
+
+// Answer is one resolved placement request.
+type Answer struct {
+	// Key is the request's canonical identity, carrying the
+	// permutations that translate placements back to the caller's
+	// labeling.
+	Key catalog.PairKey
+	// Tier says which tier answered; State and SearchErr describe the
+	// background search either way.
+	Tier      Tier
+	State     SearchState
+	SearchErr error
+	// Baseline is set on the baseline tier, Result and Artifact (the
+	// exact stored artifact bytes) on the searched tier.
+	Baseline *place.Candidate
+	Result   *place.Result
+	Artifact []byte
+
+	e *entry
+}
+
+// Place answers one request. The first request for a cold canonical
+// pair creates its entry and enqueues the single background search;
+// with wait=false it returns the baseline tier immediately, with
+// wait=true it blocks (under ctx) until the search settles. Requests
+// for searched pairs return the stored front.
+func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer, error) {
+	s.requests.Add(1)
+	key, err := catalog.CanonicalPair(g, h)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPair, err)
+	}
+	e, created, err := s.lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		s.misses.Add(1)
+	}
+	if wait {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if SearchState(e.state.Load()) == SearchDone {
+		s.hits.Add(1)
+		return &Answer{
+			Key:      key,
+			Tier:     TierSearched,
+			State:    SearchDone,
+			Result:   e.res,
+			Artifact: e.artifact,
+			e:        e,
+		}, nil
+	}
+	e.baselineOnce.Do(func() { e.baseline, e.baselineErr = s.buildBaseline(e) })
+	if e.baselineErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnembeddable, e.baselineErr)
+	}
+	s.baselineServed.Add(1)
+	a := &Answer{
+		Key:      key,
+		Tier:     TierBaseline,
+		State:    SearchState(e.state.Load()),
+		Baseline: e.baseline,
+		e:        e,
+	}
+	if a.State == SearchFailed {
+		a.SearchErr = e.searchErr
+	}
+	return a, nil
+}
+
+// lookup returns the entry for a canonical key, creating it — and
+// enqueuing its one background search — when absent. The created
+// return is true only for the request that created the entry, which
+// is what makes the dedup singleflight: every later concurrent caller
+// lands on the same entry and no second search exists to join.
+func (s *Server) lookup(key catalog.PairKey) (*entry, bool, error) {
+	id := key.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if e := s.entries[id]; e != nil {
+		return e, false, nil
+	}
+	e, err := newEntry(key)
+	if err != nil {
+		return nil, false, err
+	}
+	s.entries[id] = e
+	s.enqueueLocked(e)
+	return e, true, nil
+}
+
+// newEntry builds the cache slot for a key's canonical pair. The
+// entry's own key is re-canonicalized so it carries identity
+// permutations regardless of the labeling of the request that created
+// it.
+func newEntry(key catalog.PairKey) (*entry, error) {
+	canon, err := catalog.CanonicalPair(key.Guest, key.Host)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPair, err)
+	}
+	return &entry{key: canon, id: canon.String(), done: make(chan struct{})}, nil
+}
+
+func (s *Server) enqueueLocked(e *entry) {
+	s.pending = append(s.pending, e)
+	s.searchWG.Add(1)
+	s.cond.Signal()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		e := s.pending[0]
+		s.pending = s.pending[1:]
+		s.inflight++
+		s.mu.Unlock()
+		s.runSearch(e)
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+		s.searchWG.Done()
+	}
+}
+
+// runSearch upgrades one entry: the full placement search on the
+// canonical pair, encoded to the artifact bytes the cache persists.
+func (s *Server) runSearch(e *entry) {
+	e.state.Store(int32(SearchRunning))
+	s.searches.Add(1)
+	cfg := s.cfg.Place
+	cfg.Guest, cfg.Host = e.key.Guest, e.key.Host
+	res, err := s.search(cfg)
+	var artifact []byte
+	if err == nil {
+		artifact, err = res.EncodeBytes()
+	}
+	if err != nil {
+		e.searchErr = err
+		e.state.Store(int32(SearchFailed))
+		s.searchFailures.Add(1)
+		s.cfg.Log("serve: search %s failed: %v", e.id, err)
+		close(e.done)
+		return
+	}
+	if res.BestEmbedding != nil {
+		// Keep the winner's placement table for ?table requests, drop
+		// the embedding itself (its kernels can hold materialized
+		// tables for the whole candidate cache).
+		e.table = res.BestEmbedding.Table()
+		res.BestEmbedding = nil
+	}
+	e.res = res
+	e.artifact = artifact
+	if e.warm != nil {
+		if got := place.Summary(res.Best); *got != *e.warm {
+			s.warmMismatches.Add(1)
+			s.cfg.Log("serve: census winner for %s disagrees with search: census %+v, search %+v",
+				e.id, *e.warm, *got)
+		}
+	}
+	e.state.Store(int32(SearchDone))
+	if err := s.store(e); err != nil {
+		s.cfg.Log("serve: cache write for %s failed: %v", e.id, err)
+	}
+	close(e.done)
+}
+
+// buildBaseline scores the instant tier: the first strategy at
+// identity symmetries, measured exactly the way the search scores its
+// Baseline candidate, so the two report identical costs.
+func (s *Server) buildBaseline(e *entry) (*place.Candidate, error) {
+	strat := s.cfg.Place.Strategies[0]
+	emb, err := strat.Embed(e.key.Guest, e.key.Host)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", strat.Name, err)
+	}
+	if err := emb.Verify(); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", strat.Name, err)
+	}
+	dil, avg := emb.Dilation(), emb.AverageDilation()
+	stats, err := netsim.Congestion(netsim.New(e.key.Host), taskgraph.FromSpec(e.key.Guest),
+		netsim.PlacementFromEmbedding(emb))
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", strat.Name, err)
+	}
+	return &place.Candidate{
+		Index:         0,
+		Strategy:      strat.Name,
+		EmbedStrategy: emb.Strategy,
+		Dilation:      dil,
+		AvgDilation:   avg,
+		Peak:          stats.MaxLink,
+		AvgLink:       stats.AvgLink(),
+		Score:         s.objective.Score(dil, stats.MaxLink, stats.AvgLink()),
+	}, nil
+}
+
+// Table returns the answer's placement table in the caller's own
+// labeling: table[guest rank] = host rank, with exactly the costs the
+// answer reports (the canonical table composed with metric-preserving
+// relabelings). Searched-tier tables for entries restored from disk
+// re-run the deterministic search once and memoize.
+func (s *Server) Table(a *Answer) ([]int, error) {
+	var canon []int
+	var err error
+	if a.Tier == TierSearched {
+		canon, err = s.winnerTable(a.e)
+	} else {
+		canon, err = s.baselineTable(a.e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return a.Key.DenormalizePlacement(canon), nil
+}
+
+func (s *Server) winnerTable(e *entry) ([]int, error) {
+	e.tableMu.Lock()
+	defer e.tableMu.Unlock()
+	if e.table != nil {
+		return e.table, nil
+	}
+	cfg := s.cfg.Place
+	cfg.Guest, cfg.Host = e.key.Guest, e.key.Host
+	res, err := s.search(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuild winner for %s: %v", e.id, err)
+	}
+	if res.BestEmbedding == nil {
+		return nil, fmt.Errorf("serve: search returned no winning embedding for %s", e.id)
+	}
+	e.table = res.BestEmbedding.Table()
+	return e.table, nil
+}
+
+func (s *Server) baselineTable(e *entry) ([]int, error) {
+	strat := s.cfg.Place.Strategies[0]
+	emb, err := strat.Embed(e.key.Guest, e.key.Host)
+	if err != nil {
+		return nil, fmt.Errorf("%w: baseline %s: %v", ErrUnembeddable, strat.Name, err)
+	}
+	return emb.Table(), nil
+}
+
+// Artifact returns the stored artifact bytes for a pair, or ok=false
+// while the pair is unknown or its search has not finished.
+func (s *Server) Artifact(g, h grid.Spec) ([]byte, error) {
+	key, err := catalog.CanonicalPair(g, h)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPair, err)
+	}
+	s.mu.Lock()
+	e := s.entries[key.String()]
+	s.mu.Unlock()
+	if e == nil || SearchState(e.state.Load()) != SearchDone {
+		return nil, nil
+	}
+	return e.artifact, nil
+}
+
+// Flush blocks until the background queue is empty and no search is
+// running — the warm-then-serve and test helper.
+func (s *Server) Flush() { s.searchWG.Wait() }
+
+// Close stops the workers. Queued-but-unstarted searches are failed
+// with ErrClosed (unblocking any waiters); the search currently
+// running on each worker finishes and is persisted. Close is
+// idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	rest := s.pending
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, e := range rest {
+		e.searchErr = ErrClosed
+		e.state.Store(int32(SearchFailed))
+		close(e.done)
+		s.searchWG.Done()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// StatusSchemaVersion versions the Status document (the /status wire
+// format).
+const StatusSchemaVersion = 1
+
+// Status is a point-in-time snapshot of the server's cache and
+// counters.
+type Status struct {
+	Schema    int    `json:"schema"`
+	PlaceSpec string `json:"place_spec"`
+	// Pairs is the number of cache entries; Searched/Failed split them
+	// by terminal search state (the remainder are queued or running).
+	Pairs    int `json:"pairs"`
+	Searched int `json:"searched"`
+	Failed   int `json:"failed"`
+	// QueueDepth is the number of searches waiting for a worker;
+	// Inflight the number running right now.
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+	// Requests counts Place calls; Misses the ones that created an
+	// entry; Hits the ones answered at the searched tier;
+	// BaselineServed the ones answered at the baseline tier.
+	Requests       int64 `json:"requests"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	BaselineServed int64 `json:"baseline_served"`
+	// Searches counts started background searches, SearchFailures the
+	// failed ones.
+	Searches       int64 `json:"searches"`
+	SearchFailures int64 `json:"search_failures"`
+	// WarmQueued counts searches enqueued by census warming;
+	// WarmMismatches counts finished warm searches whose winner
+	// disagreed with the census's recorded winner (always a bug —
+	// search is deterministic).
+	WarmQueued     int64 `json:"warm_queued"`
+	WarmMismatches int64 `json:"warm_mismatches"`
+	// CacheLoaded counts entries restored from the cache directory at
+	// startup; CacheLoadErrors the files skipped as unreadable.
+	CacheLoaded     int64 `json:"cache_loaded"`
+	CacheLoadErrors int64 `json:"cache_load_errors"`
+}
+
+// Status snapshots the server.
+func (s *Server) Status() Status {
+	st := Status{
+		Schema:          StatusSchemaVersion,
+		PlaceSpec:       s.spec,
+		Requests:        s.requests.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		BaselineServed:  s.baselineServed.Load(),
+		Searches:        s.searches.Load(),
+		SearchFailures:  s.searchFailures.Load(),
+		WarmQueued:      s.warmQueued.Load(),
+		WarmMismatches:  s.warmMismatches.Load(),
+		CacheLoaded:     s.cacheLoaded.Load(),
+		CacheLoadErrors: s.cacheLoadErrors.Load(),
+	}
+	s.mu.Lock()
+	st.Pairs = len(s.entries)
+	st.QueueDepth = len(s.pending)
+	st.Inflight = s.inflight
+	for _, e := range s.entries {
+		switch SearchState(e.state.Load()) {
+		case SearchDone:
+			st.Searched++
+		case SearchFailed:
+			st.Failed++
+		}
+	}
+	s.mu.Unlock()
+	return st
+}

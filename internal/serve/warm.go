@@ -1,0 +1,83 @@
+// The bulk warm path: pre-seeding the cache from sweep/sweepd census
+// artifacts. A placement census already names every embeddable pair
+// of a size and records each pair's searched winner; warming turns
+// that into background searches so the full fronts are cached before
+// the first request arrives. When the census ran under the server's
+// exact search spec, its recorded winner doubles as a cross-check on
+// the warm search's result (both are deterministic, so any difference
+// is a bug, counted in warm_mismatches).
+
+package serve
+
+import (
+	"torusmesh/internal/catalog"
+	"torusmesh/internal/census"
+)
+
+// WarmStats reports one warming pass.
+type WarmStats struct {
+	// Queued counts pairs whose background search was enqueued;
+	// Present counts pairs the cache already had (including duplicates
+	// within the census itself — relabelings folding to one canonical
+	// pair); Skipped counts rows with no usable placement (failed
+	// pairs, rows without a place column, unparsable specs).
+	Queued  int `json:"queued"`
+	Present int `json:"present"`
+	Skipped int `json:"skipped"`
+}
+
+// WarmCensus enqueues a background search for every placed pair of
+// the census the cache does not hold yet. It returns after enqueuing
+// (searches proceed on the background workers); call Flush to block
+// until the cache is fully warm.
+func (s *Server) WarmCensus(c *census.Census) (WarmStats, error) {
+	var ws WarmStats
+	specMatches := c.PlaceSpec == s.spec
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.Place == nil || r.Place.Error != "" || r.Failure != "" {
+			ws.Skipped++
+			continue
+		}
+		g, err := parseArtifactSpec(r.Guest)
+		if err != nil {
+			ws.Skipped++
+			continue
+		}
+		h, err := parseArtifactSpec(r.Host)
+		if err != nil {
+			ws.Skipped++
+			continue
+		}
+		key, err := catalog.CanonicalPair(g, h)
+		if err != nil {
+			ws.Skipped++
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ws, ErrClosed
+		}
+		if _, ok := s.entries[key.String()]; ok {
+			s.mu.Unlock()
+			ws.Present++
+			continue
+		}
+		e, err := newEntry(key)
+		if err != nil {
+			s.mu.Unlock()
+			ws.Skipped++
+			continue
+		}
+		if specMatches {
+			e.warm = r.Place
+		}
+		s.entries[e.id] = e
+		s.enqueueLocked(e)
+		s.mu.Unlock()
+		ws.Queued++
+		s.warmQueued.Add(1)
+	}
+	return ws, nil
+}
