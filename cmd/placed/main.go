@@ -19,7 +19,14 @@
 //	curl 'localhost:8080/place?from=torus:8x2&to=mesh:4x4&wait=1'   # block for the front
 //	curl 'localhost:8080/artifact?from=torus:8x2&to=mesh:4x4'       # raw place artifact
 //	curl 'localhost:8080/status'
+//	curl 'localhost:8080/metrics'                                   # Prometheus text
+//	curl 'localhost:8080/statusz'                                   # registry as JSON
 //	curl -X POST --data-binary @census.json localhost:8080/warm
+//
+// -max-queue bounds the background search queue: cold pairs beyond it
+// answer 429 with a Retry-After hint instead of growing the queue.
+// -pprof exposes /debug/pprof/ on the same listener (opt-in: it
+// reveals goroutine stacks and heap contents).
 //
 // The search flags (-objective, -budget, -cap, -rotations, -anneal,
 // -anneal-steps, -anneal-moves, -seed, -wide-tables) take the same
@@ -46,6 +53,7 @@ import (
 	"time"
 
 	"torusmesh/internal/census"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/place"
 	"torusmesh/internal/serve"
 )
@@ -58,6 +66,8 @@ func main() {
 	warm := flag.String("warm", "", "glob of census artifacts (JSON or NDJSON) to pre-seed the cache from")
 	warmWait := flag.Bool("warm-wait", false, "finish all warm searches before accepting requests")
 	workers := flag.Int("search-workers", 1, "concurrent background searches")
+	maxQueue := flag.Int("max-queue", 0, "max queued background searches before cold pairs get 429 (0 = unbounded)")
+	withPprof := flag.Bool("pprof", false, "expose /debug/pprof/ on the listener")
 	objective := flag.String("objective", "1,1,0", "objective weights α,β,γ for dilation, peak link load, mean link load")
 	budget := flag.Int("budget", place.DefaultBudget, "max candidates constructed and scored per search")
 	cap := flag.Bool("cap", true, "discard candidates dilating worse than the baseline")
@@ -92,6 +102,9 @@ func main() {
 		},
 		CacheDir:      *cacheDir,
 		SearchWorkers: *workers,
+		MaxQueue:      *maxQueue,
+		Registry:      obs.Default(),
+		Pprof:         *withPprof,
 		Log:           log.Printf,
 	})
 	if err != nil {

@@ -15,6 +15,16 @@
 //	sweepd -n 360 -maxdim 4 -shards 16 -workers 4 -out full.json
 //	sweepd -n 360 -shards 16 -sweep ./sweep -out full.json
 //	sweepd -n 360 -shards 16 -sweep ./sweep -out full.json -resume
+//	sweepd -n 360 -shards 16 -out full.json -status :9090
+//
+// -status serves live run observability on its own listener while the
+// sweep runs: GET /progress is the per-shard fold state (pending,
+// folded, attempts, failures, straggler re-issues, wall times), GET
+// /metrics the Prometheus exposition of the same registry, GET
+// /statusz its JSON form, and -pprof adds /debug/pprof/:
+//
+//	curl localhost:9090/progress
+//	curl localhost:9090/metrics
 //
 // The journal (-journal, default <out>.journal) is the crash-safety
 // artifact: a stream header line plus one record per finished pair,
@@ -38,8 +48,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"sync/atomic"
@@ -49,6 +62,7 @@ import (
 	"torusmesh/internal/core"
 	"torusmesh/internal/driver"
 	"torusmesh/internal/embed"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/par"
 )
 
@@ -77,6 +91,8 @@ func main() {
 	sweepBin := flag.String("sweep", "", "run shards as subprocess workers exec'ing this sweep binary (empty = in-process)")
 	injectFail := flag.Int("inject-fail", 0, "testing hook: crash the first N subprocess worker attempts mid-stream")
 	haltAfter := flag.Int("halt-after", 0, "testing hook: stop (exit 3) once this many shards have completed")
+	status := flag.String("status", "", "serve live progress on this address (/progress, /metrics, /statusz)")
+	withPprof := flag.Bool("pprof", false, "expose /debug/pprof/ on the -status listener")
 	timing := flag.Bool("time", false, "report the wall time of the run")
 	flag.Parse()
 
@@ -85,6 +101,9 @@ func main() {
 	}
 	if *injectFail > 0 && *sweepBin == "" {
 		fatalf("sweepd: -inject-fail requires subprocess workers (-sweep)")
+	}
+	if *withPprof && *status == "" {
+		fatalf("sweepd: -pprof requires a -status listener")
 	}
 	// Resolve the fleet geometry here so the summary reports what
 	// actually ran, not the flag defaults.
@@ -201,6 +220,7 @@ func main() {
 		Retries:         *retries,
 		StragglerFactor: *stragglerFactor,
 		Resume:          resumeRecs,
+		Registry:        obs.Default(),
 		OnResult: func(r *census.PairResult) {
 			if journalW == nil || journalErr.Load() != nil {
 				return
@@ -224,7 +244,30 @@ func main() {
 	if err != nil {
 		fatalf("sweepd: %v", err)
 	}
+	var statusSrv *http.Server
+	if *status != "" {
+		ln, err := net.Listen("tcp", *status)
+		if err != nil {
+			fatalf("sweepd: -status: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/progress", d.StatusHandler())
+		mux.Handle("/", d.StatusHandler())
+		obs.Mount(mux, d.Registry(), *withPprof)
+		statusSrv = &http.Server{Handler: mux}
+		fmt.Fprintf(os.Stderr, "sweepd: status on http://%s\n", ln.Addr())
+		go func() {
+			if err := statusSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "sweepd: status server: %v\n", err)
+			}
+		}()
+	}
 	c, err := d.Run(ctx)
+	if statusSrv != nil {
+		// The listener is scoped to the run; the final snapshot stays
+		// queryable through Progress until close.
+		statusSrv.Close()
+	}
 	if journalFile != nil {
 		if cerr := journalFile.Close(); cerr != nil && err == nil {
 			fatalf("sweepd: close journal: %v", cerr)

@@ -321,6 +321,7 @@ func Run(cfg Config) (*Census, error) {
 			}
 			i := indices[k]
 			results[k] = ev.pair(i, specs[i/len(specs)], specs[i%len(specs)])
+			countPair(&results[k])
 			if cfg.OnResult != nil {
 				emitMu.Lock()
 				cfg.OnResult(&results[k])

@@ -1,0 +1,35 @@
+// Package-level instrumentation of the census engine, on the process
+// default registry: pair throughput and the failure split by stage.
+// Counters are incremented once per evaluated pair in the Run loop —
+// they observe the results, never influence them, so artifacts stay
+// byte-identical with metrics scraped or not.
+package census
+
+import "torusmesh/internal/obs"
+
+var (
+	pairsEvaluated    = obs.Default().Counter("census_pairs_evaluated_total")
+	pairsEmbeddable   = obs.Default().Counter("census_pairs_embeddable_total")
+	constructFailures = obs.Default().Counter("census_construct_failures_total")
+	verifyFailures    = obs.Default().Counter("census_verify_failures_total")
+)
+
+func init() {
+	obs.Default().Describe("census_pairs_evaluated_total", "Pairs evaluated across all census runs in this process.")
+	obs.Default().Describe("census_pairs_embeddable_total", "Evaluated pairs a construction carried and verification passed.")
+	obs.Default().Describe("census_construct_failures_total", "Evaluated pairs no construction covers.")
+	obs.Default().Describe("census_verify_failures_total", "Evaluated pairs whose embedding failed verification (a library bug).")
+}
+
+// countPair tallies one finished pair by its failure stage.
+func countPair(pr *PairResult) {
+	pairsEvaluated.Inc()
+	switch pr.FailureStage {
+	case StageConstruct:
+		constructFailures.Inc()
+	case StageVerify:
+		verifyFailures.Inc()
+	default:
+		pairsEmbeddable.Inc()
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"torusmesh/internal/census"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/par"
 )
 
@@ -125,11 +126,18 @@ type Plan struct {
 	// from Resume records: the shard index, how many shards are done,
 	// and the total.
 	OnShardDone func(shard, done, total int)
+	// Registry receives the driver's metrics (sweepd_* names) — the
+	// instruments behind Progress and the -status endpoint. Nil means a
+	// private registry; cmd/sweepd passes obs.Default() so the fold
+	// shares a /metrics page with the engines it drives.
+	Registry *obs.Registry
 	// Log, when set, receives progress and retry diagnostics.
 	Log func(format string, args ...any)
 }
 
 // Driver runs one Plan. Create with New; Run may be called once.
+// Progress and the metrics registry are live from New on, so a status
+// endpoint can be mounted before — and keep answering after — the run.
 type Driver struct {
 	plan        Plan
 	specs       []string // spec strings in enumeration order
@@ -137,6 +145,18 @@ type Driver struct {
 	retries     int
 	backoff     time.Duration
 	stragglerIv time.Duration
+
+	st  *state
+	reg *obs.Registry
+
+	foldedRecords     *obs.Counter
+	duplicateRecords  *obs.Counter
+	rejectedRecords   *obs.Counter
+	attempts          *obs.Counter
+	attemptFailures   *obs.Counter
+	retriesScheduled  *obs.Counter
+	stragglerReissues *obs.Counter
+	attemptSeconds    *obs.Histogram
 }
 
 // New validates the plan and prepares a driver for it.
@@ -187,8 +207,90 @@ func New(plan Plan) (*Driver, error) {
 		d.specs[i] = sp.String()
 	}
 	d.space = len(specs) * len(specs)
+
+	// The fold state is allocated here, not in Run, so Progress (and a
+	// status endpoint mounted on it) answers from the moment the driver
+	// exists.
+	m := d.plan.Shards
+	d.st = &state{
+		results:   make([]census.PairResult, d.space),
+		have:      make([]bool, d.space),
+		remaining: make([]int, m),
+		stripe:    make([]int, m),
+		doneShard: make([]bool, m),
+		failures:  make([]int, m),
+		issued:    make([]int, m),
+		reissues:  make([]int, m),
+		live:      make([][]*attempt, m),
+		wall:      make([]time.Duration, m),
+		timed:     make([]bool, m),
+	}
+	for i := 0; i < d.space; i++ {
+		d.st.remaining[i%m]++
+		d.st.stripe[i%m]++
+	}
+
+	d.reg = plan.Registry
+	if d.reg == nil {
+		d.reg = obs.NewRegistry()
+	}
+	d.registerMetrics()
 	return d, nil
 }
+
+// registerMetrics creates the driver's instruments (sweepd_ prefix —
+// the driver is the engine behind that CLI). Gauges read the live fold
+// state; counters are incremented on the fold/schedule paths.
+func (d *Driver) registerMetrics() {
+	r := d.reg
+	st := d.st
+	r.Describe("sweepd_records_folded_total", "Pair records first-folded into the merged census.")
+	d.foldedRecords = r.Counter("sweepd_records_folded_total")
+	r.Describe("sweepd_records_duplicate_total", "Pair records discarded as duplicates (retries, straggler races, resume overlap).")
+	d.duplicateRecords = r.Counter("sweepd_records_duplicate_total")
+	r.Describe("sweepd_records_rejected_total", "Pair records rejected by structural validation.")
+	d.rejectedRecords = r.Counter("sweepd_records_rejected_total")
+	r.Describe("sweepd_attempts_total", "Shard attempts issued (initial, retries and straggler re-issues).")
+	d.attempts = r.Counter("sweepd_attempts_total")
+	r.Describe("sweepd_attempt_failures_total", "Shard attempts that failed or returned short.")
+	d.attemptFailures = r.Counter("sweepd_attempt_failures_total")
+	r.Describe("sweepd_retries_total", "Shard retries scheduled after a failed attempt.")
+	d.retriesScheduled = r.Counter("sweepd_retries_total")
+	r.Describe("sweepd_straggler_reissues_total", "Attempts re-issued by the straggler policy.")
+	d.stragglerReissues = r.Counter("sweepd_straggler_reissues_total")
+	r.Describe("sweepd_attempt_seconds", "Shard attempt wall time.")
+	d.attemptSeconds = r.Histogram("sweepd_attempt_seconds", obs.DefDurationBuckets())
+
+	r.Describe("sweepd_pairs", "Pairs in the census space.")
+	r.GaugeFunc("sweepd_pairs", func() float64 { return float64(d.space) })
+	r.Describe("sweepd_pairs_folded", "Pairs folded so far.")
+	r.GaugeFunc("sweepd_pairs_folded", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return float64(st.folded)
+	})
+	r.Describe("sweepd_shards", "Shards in the plan.")
+	r.GaugeFunc("sweepd_shards", func() float64 { return float64(d.plan.Shards) })
+	r.Describe("sweepd_shards_done", "Shards whose stripe is fully folded.")
+	r.GaugeFunc("sweepd_shards_done", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return float64(st.done)
+	})
+	r.Describe("sweepd_attempts_inflight", "Shard attempts running right now.")
+	r.GaugeFunc("sweepd_attempts_inflight", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		n := 0
+		for _, lv := range st.live {
+			n += len(lv)
+		}
+		return float64(n)
+	})
+}
+
+// Registry returns the registry the driver's metrics live on.
+func (d *Driver) Registry() *obs.Registry { return d.reg }
 
 func (d *Driver) logf(format string, args ...any) {
 	if d.plan.Log != nil {
@@ -220,18 +322,23 @@ type state struct {
 	mu        sync.Mutex
 	results   []census.PairResult // slot per pair index
 	have      []bool
+	folded    int   // pairs folded so far (== count of have)
 	remaining []int // per shard, pairs not yet folded
+	stripe    []int // per shard, total pairs in the stripe
 	doneShard []bool
 	done      int          // completed shards
 	failures  []int        // failed attempts per shard
 	issued    []int        // attempts issued per shard (numbering)
+	reissues  []int        // straggler re-issues per shard
 	live      [][]*attempt // running attempts per shard
 	// durations holds one clean wall time per completed shard (timed
-	// marks which shards contributed). One sample per shard, not per
-	// attempt: a straggler race can finish both siblings of one shard
-	// cleanly, and two samples from a single shard must not pretend to
-	// be a fleet-wide median.
+	// marks which shards contributed; wall keeps the same sample by
+	// shard for Progress). One sample per shard, not per attempt: a
+	// straggler race can finish both siblings of one shard cleanly, and
+	// two samples from a single shard must not pretend to be a
+	// fleet-wide median.
 	durations []time.Duration
+	wall      []time.Duration
 	timed     []bool
 }
 
@@ -242,21 +349,27 @@ type state struct {
 func (d *Driver) fold(st *state, r *census.PairResult, shard int, notify bool) error {
 	n := len(d.specs)
 	if r.Index < 0 || r.Index >= d.space {
+		d.rejectedRecords.Inc()
 		return fmt.Errorf("driver: record index %d outside pair space of %d", r.Index, d.space)
 	}
 	if shard >= 0 && r.Index%d.plan.Shards != shard {
+		d.rejectedRecords.Inc()
 		return fmt.Errorf("driver: record %d does not belong to shard %d/%d", r.Index, shard, d.plan.Shards)
 	}
 	if g, h := d.specs[r.Index/n], d.specs[r.Index%n]; r.Guest != g || r.Host != h {
+		d.rejectedRecords.Inc()
 		return fmt.Errorf("driver: record %d names pair %s -> %s, enumeration says %s -> %s",
 			r.Index, r.Guest, r.Host, g, h)
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.have[r.Index] {
+		d.duplicateRecords.Inc()
 		return nil
 	}
 	st.have[r.Index] = true
+	st.folded++
+	d.foldedRecords.Inc()
 	st.results[r.Index] = *r
 	if notify && d.plan.OnResult != nil {
 		d.plan.OnResult(&st.results[r.Index])
@@ -289,19 +402,7 @@ func (d *Driver) completeShardLocked(st *state, shard int) {
 func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 	start := time.Now()
 	m := d.plan.Shards
-	st := &state{
-		results:   make([]census.PairResult, d.space),
-		have:      make([]bool, d.space),
-		remaining: make([]int, m),
-		doneShard: make([]bool, m),
-		failures:  make([]int, m),
-		issued:    make([]int, m),
-		live:      make([][]*attempt, m),
-		timed:     make([]bool, m),
-	}
-	for i := 0; i < d.space; i++ {
-		st.remaining[i%m]++
-	}
+	st := d.st
 	// Shards beyond the pair space have empty stripes: complete now,
 	// before resume, so their completions are reported exactly once.
 	st.mu.Lock()
@@ -346,7 +447,9 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 				err := d.plan.Worker.Run(atCtx, job, func(r census.PairResult) error {
 					return d.fold(st, &r, at.shard, true)
 				})
-				events <- event{at: at, err: err, dur: time.Since(begin)}
+				dur := time.Since(begin)
+				d.attemptSeconds.Observe(dur.Seconds())
+				events <- event{at: at, err: err, dur: dur}
 			}
 		}()
 	}
@@ -367,6 +470,7 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 		st.issued[s]++
 		st.live[s] = append(st.live[s], at)
 		st.mu.Unlock()
+		d.attempts.Inc()
 		jobs <- at
 	}
 	for s := 0; s < m; s++ {
@@ -459,6 +563,7 @@ func (d *Driver) handleEvent(st *state, ev event, retries chan<- int, timers *[]
 		if ev.err == nil && !st.timed[s] {
 			st.timed[s] = true
 			st.durations = append(st.durations, ev.dur)
+			st.wall[s] = ev.dur
 		}
 		st.mu.Unlock()
 		return nil
@@ -467,6 +572,7 @@ func (d *Driver) handleEvent(st *state, ev event, retries chan<- int, timers *[]
 	st.failures[s]++
 	failures := st.failures[s]
 	st.mu.Unlock()
+	d.attemptFailures.Inc()
 
 	err := ev.err
 	if err == nil {
@@ -478,6 +584,7 @@ func (d *Driver) handleEvent(st *state, ev event, retries chan<- int, timers *[]
 		return fmt.Errorf("driver: shard %d/%d failed %d time(s), retries exhausted: %v", s, d.plan.Shards, failures, err)
 	}
 	delay := d.backoff << (failures - 1)
+	d.retriesScheduled.Inc()
 	d.logf("shard %d: attempt %d failed (%v); retrying in %s (%d/%d retries used)",
 		s, ev.at.n, err, delay, failures, d.retries)
 	t := time.AfterFunc(delay, func() { retries <- s })
@@ -514,6 +621,8 @@ func (d *Driver) stragglers(st *state) []int {
 		at := st.live[s][0]
 		if !at.reissued && time.Since(at.start) > cutoff {
 			at.reissued = true
+			st.reissues[s]++
+			d.stragglerReissues.Inc()
 			out = append(out, s)
 		}
 	}

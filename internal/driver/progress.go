@@ -1,0 +1,99 @@
+// The live progress view of a distributed run: a point-in-time,
+// per-shard snapshot of the fold — pending/folded pair counts, attempt
+// and retry counts, straggler re-issues, worker wall times — served as
+// JSON by the sweepd -status endpoint. The snapshot reads the same
+// state the scheduler mutates (one mutex, one consistent view), so it
+// is exact, not sampled, and works from New on: before Run it shows
+// every stripe pending, after Run it keeps answering with the final
+// counts.
+
+package driver
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ProgressSchemaVersion versions the Progress document (the -status
+// wire format).
+const ProgressSchemaVersion = 1
+
+// ShardProgress is one shard's live state.
+type ShardProgress struct {
+	Shard int `json:"shard"`
+	// Pairs is the stripe size; Folded/Pending split it by fold state.
+	Pairs   int  `json:"pairs"`
+	Folded  int  `json:"folded"`
+	Pending int  `json:"pending"`
+	Done    bool `json:"done"`
+	// Attempts counts issued attempts (initial + retries + straggler
+	// re-issues); Failures the failed ones; Running the live ones;
+	// Reissues the straggler re-issues among Attempts.
+	Attempts int `json:"attempts"`
+	Failures int `json:"failures"`
+	Running  int `json:"running"`
+	Reissues int `json:"reissues"`
+	// WallMS is the shard's clean completion wall time in milliseconds
+	// (0 until the shard completes via a worker; shards completed
+	// purely from resume records never get one).
+	WallMS int64 `json:"wall_ms"`
+}
+
+// Progress is a point-in-time snapshot of a distributed run.
+type Progress struct {
+	Schema int `json:"schema"`
+	// Size is the census size; Pairs the full pair space.
+	Size  int `json:"size"`
+	Pairs int `json:"pairs"`
+	// Folded counts pairs folded so far; DoneShards the fully folded
+	// stripes out of Shards.
+	Folded     int `json:"folded"`
+	Shards     int `json:"shards"`
+	DoneShards int `json:"done_shards"`
+	Workers    int `json:"workers"`
+	// Shard holds the per-shard breakdown, indexed by shard number.
+	Shard []ShardProgress `json:"shard_state"`
+}
+
+// Progress snapshots the run.
+func (d *Driver) Progress() Progress {
+	st := d.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := Progress{
+		Schema:     ProgressSchemaVersion,
+		Size:       d.plan.Config.Size,
+		Pairs:      d.space,
+		Folded:     st.folded,
+		Shards:     d.plan.Shards,
+		DoneShards: st.done,
+		Workers:    d.plan.Workers,
+		Shard:      make([]ShardProgress, d.plan.Shards),
+	}
+	for s := 0; s < d.plan.Shards; s++ {
+		p.Shard[s] = ShardProgress{
+			Shard:    s,
+			Pairs:    st.stripe[s],
+			Folded:   st.stripe[s] - st.remaining[s],
+			Pending:  st.remaining[s],
+			Done:     st.doneShard[s],
+			Attempts: st.issued[s],
+			Failures: st.failures[s],
+			Running:  len(st.live[s]),
+			Reissues: st.reissues[s],
+			WallMS:   st.wall[s].Milliseconds(),
+		}
+	}
+	return p
+}
+
+// StatusHandler serves the Progress snapshot as JSON — the handler
+// behind sweepd's -status endpoint.
+func (d *Driver) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d.Progress())
+	})
+}

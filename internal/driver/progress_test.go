@@ -1,0 +1,131 @@
+package driver_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"torusmesh/internal/census"
+	"torusmesh/internal/driver"
+	"torusmesh/internal/obs"
+)
+
+// TestProgressBeforeRun: the -status endpoint answers from construction
+// — before Run, every stripe is pending and nothing is folded or done.
+func TestProgressBeforeRun(t *testing.T) {
+	cfg := template(24, 0)
+	d, err := driver.New(driver.Plan{Config: cfg, Shards: 3, Workers: 2, Worker: driver.InProcess{}})
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	p := d.Progress()
+	if p.Schema != driver.ProgressSchemaVersion {
+		t.Errorf("schema = %d, want %d", p.Schema, driver.ProgressSchemaVersion)
+	}
+	if p.Folded != 0 || p.DoneShards != 0 {
+		t.Errorf("fresh driver reports folded=%d done_shards=%d", p.Folded, p.DoneShards)
+	}
+	if p.Pairs == 0 {
+		t.Fatal("fresh driver reports an empty pair space")
+	}
+	total := 0
+	for _, s := range p.Shard {
+		if s.Pending != s.Pairs || s.Folded != 0 || s.Done || s.Attempts != 0 {
+			t.Errorf("shard %d not fully pending before Run: %+v", s.Shard, s)
+		}
+		total += s.Pairs
+	}
+	if total != p.Pairs {
+		t.Errorf("stripes sum to %d pairs, want %d", total, p.Pairs)
+	}
+}
+
+// TestProgressInjectedRetry is the observability contract for a run
+// with exactly one failure: the first attempt of shard 1 dies, the
+// retry completes it, and both the Progress snapshot and the registry
+// counters report exactly that — attempts 2 / failures 1 on shard 1,
+// attempts 1 / failures 0 everywhere else, one retry total — while the
+// merged artifact still matches the unsharded census byte for byte.
+func TestProgressInjectedRetry(t *testing.T) {
+	cfg := template(24, 0)
+	want := encode(t, unsharded(t, cfg))
+
+	var failed atomic.Bool
+	flaky := workerFunc(func(ctx context.Context, job driver.Job, emit func(census.PairResult) error) error {
+		if job.Shard == 1 && !failed.Swap(true) {
+			return context.DeadlineExceeded // any non-nil error: the attempt failed
+		}
+		return driver.InProcess{}.Run(ctx, job, emit)
+	})
+	d, err := driver.New(driver.Plan{
+		Config: cfg, Shards: 3, Workers: 2, Worker: flaky, Backoff: fastRetry,
+	})
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	c, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if !bytes.Equal(want, encode(t, c)) {
+		t.Error("census with an injected retry differs from unsharded census")
+	}
+
+	p := d.Progress()
+	if p.Folded != p.Pairs || p.DoneShards != 3 {
+		t.Errorf("final snapshot folded=%d/%d done_shards=%d, want complete", p.Folded, p.Pairs, p.DoneShards)
+	}
+	for _, s := range p.Shard {
+		wantAttempts, wantFailures := 1, 0
+		if s.Shard == 1 {
+			wantAttempts, wantFailures = 2, 1
+		}
+		if !s.Done || s.Pending != 0 || s.Folded != s.Pairs || s.Running != 0 || s.Reissues != 0 {
+			t.Errorf("shard %d final state: %+v", s.Shard, s)
+		}
+		if s.Attempts != wantAttempts || s.Failures != wantFailures {
+			t.Errorf("shard %d attempts=%d failures=%d, want %d/%d",
+				s.Shard, s.Attempts, s.Failures, wantAttempts, wantFailures)
+		}
+		if s.Shard != 1 && s.Pairs > 0 && s.WallMS < 0 {
+			t.Errorf("shard %d wall time %dms", s.Shard, s.WallMS)
+		}
+	}
+
+	reg := d.Registry()
+	counters := map[string]int64{
+		"sweepd_attempts_total":           4,
+		"sweepd_attempt_failures_total":   1,
+		"sweepd_retries_total":            1,
+		"sweepd_straggler_reissues_total": 0,
+		"sweepd_records_folded_total":     int64(p.Pairs),
+		"sweepd_records_duplicate_total":  0,
+		"sweepd_records_rejected_total":   0,
+	}
+	for name, wantV := range counters {
+		if got := reg.Counter(name).Value(); got != wantV {
+			t.Errorf("%s = %d, want %d", name, got, wantV)
+		}
+	}
+	if got := reg.Histogram("sweepd_attempt_seconds", obs.DefDurationBuckets()).Count(); got != 4 {
+		t.Errorf("sweepd_attempt_seconds count = %d, want 4", got)
+	}
+
+	// The HTTP view is the same snapshot, decoded.
+	rec := httptest.NewRecorder()
+	d.StatusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("status Content-Type = %q", ct)
+	}
+	var got driver.Progress
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode status body: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("status endpoint snapshot differs from Progress():\nhttp: %+v\ndirect: %+v", got, p)
+	}
+}

@@ -31,7 +31,9 @@ func TestStragglerMedianPerShard(t *testing.T) {
 		doneShard: make([]bool, m),
 		failures:  make([]int, m),
 		issued:    make([]int, m),
+		reissues:  make([]int, m),
 		live:      make([][]*attempt, m),
+		wall:      make([]time.Duration, m),
 		timed:     make([]bool, m),
 	}
 	// Shard 0 completed; both of its attempts (the winner and a

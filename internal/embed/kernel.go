@@ -310,6 +310,7 @@ func Materialize(k Kernel, n int) Table {
 	if t, ok := k.(Table); ok {
 		return t
 	}
+	tablesMaterialized.Inc()
 	out := make(Table, n)
 	par.Blocks(n, par.Grain(n, 4096), func(lo, hi int) {
 		src := make([]int, 0, grid.DefaultEdgeBlock)

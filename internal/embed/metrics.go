@@ -1,0 +1,12 @@
+// Package-level instrumentation of the kernel layer, on the process
+// default registry: how many kernels were actually materialized into
+// lookup tables (already-Table kernels pass through uncounted).
+package embed
+
+import "torusmesh/internal/obs"
+
+var tablesMaterialized = obs.Default().Counter("embed_tables_materialized_total")
+
+func init() {
+	obs.Default().Describe("embed_tables_materialized_total", "Kernels materialized into lookup tables.")
+}

@@ -20,6 +20,7 @@ import (
 
 	"torusmesh/internal/grid"
 	"torusmesh/internal/netsim"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/par"
 	"torusmesh/internal/taskgraph"
 )
@@ -159,6 +160,35 @@ func RunBench() (*BenchReport, error) {
 			ls.Swap(u, v)
 			_ = ls.Stats()
 			ls.Dilation()
+		}
+	})
+
+	// The same per-move kernel with the counter increments the
+	// instrumented annealing loop performs per step (one step counter,
+	// one accept-or-reject counter) — the obs-overhead benchmark. The
+	// delta against anneal-move/swap is the price of observability, and
+	// the alloc column must stay identical: counting is atomic adds,
+	// never allocation.
+	obsReg := obs.NewRegistry()
+	obsSteps := obsReg.Counter("bench_anneal_steps_total")
+	obsAccepted := obsReg.Counter("bench_anneal_moves_accepted_total")
+	obsRejected := obsReg.Counter("bench_anneal_moves_rejected_total")
+	runOne(report, "anneal-move/swap+obs/"+pairName, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			ls.Swap(u, v)
+			_ = ls.Stats()
+			ls.Dilation()
+			obsSteps.Inc()
+			if i&1 == 0 {
+				obsAccepted.Inc()
+			} else {
+				obsRejected.Inc()
+			}
 		}
 	})
 

@@ -1,0 +1,32 @@
+package obs
+
+// Allocation regression gates for the instrument hot paths, in the
+// same shape as internal/netsim's: these are the operations the anneal
+// move loop and the serve request path call per-event, so they must
+// stay allocation-free. CI reruns them by name (-run 'Allocs').
+
+import "testing"
+
+func TestCounterIncAllocs(t *testing.T) {
+	c := NewRegistry().Counter("c_total")
+	c.Inc() // warm
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+}
+
+func TestGaugeSetAllocs(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(1) // warm
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", DefDurationBuckets())
+	h.Observe(0.01) // warm
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same identity returns the same instrument.
+	if r.Counter("x_total") != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabelIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("served_total", L("tier", "baseline"))
+	b := r.Counter("served_total", L("tier", "searched"))
+	if a == b {
+		t.Fatalf("distinct label sets shared one counter")
+	}
+	// Label order must not matter.
+	c1 := r.Counter("m_total", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("m_total", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Fatalf("label order changed metric identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 102.65 {
+		t.Fatalf("sum = %g, want 102.65", got)
+	}
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive upper edges).
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a histogram with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{1, 3})
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("req_total", "Requests served.")
+	r.Counter("req_total", L("tier", "baseline")).Add(3)
+	r.Counter("req_total", L("tier", "searched")).Inc()
+	r.Gauge("queue_depth").Set(2)
+	r.GaugeFunc("uptime_seconds", func() float64 { return 12.5 })
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 5.55
+lat_seconds_count 3
+# TYPE queue_depth gauge
+queue_depth 2
+# HELP req_total Requests served.
+# TYPE req_total counter
+req_total{tier="baseline"} 3
+req_total{tier="searched"} 1
+# TYPE uptime_seconds gauge
+uptime_seconds 12.5
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b.String() != b2.String() {
+		t.Fatalf("repeated exposition differs")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("k", "v")).Add(2)
+	h := r.Histogram("h_seconds", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	snap := r.Snapshot()
+	if snap.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("schema version = %d", snap.SchemaVersion)
+	}
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(snap.Metrics))
+	}
+	c := snap.Metrics[0]
+	if c.Name != "a_total" || c.Kind != "counter" || c.Labels["k"] != "v" || *c.Value != 2 {
+		t.Fatalf("counter snapshot wrong: %+v", c)
+	}
+	hs := snap.Metrics[1]
+	if hs.Kind != "histogram" || *hs.Count != 2 || *hs.Sum != 3.5 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[0] != 1 || hs.Buckets[1] != 1 {
+		t.Fatalf("histogram buckets wrong: %+v", hs.Buckets)
+	}
+	// The snapshot must round-trip through JSON.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", L("msg", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `e_total{msg="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped exposition missing:\n%s", b.String())
+	}
+	snap := r.Snapshot()
+	if got := snap.Metrics[0].Labels["msg"]; got != "a\"b\\c\nd" {
+		t.Fatalf("snapshot unescape = %q", got)
+	}
+}
+
+func TestMount(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total").Inc()
+	mux := http.NewServeMux()
+	Mount(mux, r, true)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "m_total 1") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/statusz"); code != 200 || !strings.Contains(body, `"m_total"`) {
+		t.Fatalf("/statusz: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			h := r.Histogram("h_seconds", []float64{1, 2})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", []float64{1, 2}).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", []float64{1, 2}).Sum(); got != 12000 {
+		t.Fatalf("histogram sum = %g, want 12000", got)
+	}
+}

@@ -218,6 +218,7 @@ func (ms *moveScratch) planeSwap(ls *netsim.LoadState, rng *rand.Rand, n int) bo
 // incremental costs against evalTable every annealRevalidateEvery
 // steps and once more on the returned best.
 func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *rand.Rand) (embed.Table, tableCosts, error) {
+	annealRuns.Inc()
 	n := len(tab)
 	mode := netsim.ModeAuto
 	if s.cfg.WideTables {
@@ -273,9 +274,11 @@ func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *
 		} else {
 			ls.Permute(ms.guests, ms.newHosts)
 		}
+		annealSteps.Inc()
 		c := s.stateCosts(ls)
 		delta := c.score - cur.score
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			annealAccepted.Inc()
 			cur = c
 			// Best-visited advances on a strictly lower score, or on
 			// Pareto dominance at a tied score: a zero-weighted cost
@@ -287,11 +290,14 @@ func (s *searcher) annealRun(tab embed.Table, start tableCosts, steps int, rng *
 				ls.CopyTableInto(bestTab)
 			}
 		} else if kind == moveSwap {
+			annealRejected.Inc()
 			ls.Swap(i, j) // reject: undo the swap
 		} else {
+			annealRejected.Inc()
 			ls.Permute(ms.guests, ms.prevHosts) // reject: replay the old hosts
 		}
 		if (step+1)%annealRevalidateEvery == 0 {
+			annealRevalidations.Inc()
 			if snap == nil {
 				snap = make(embed.Table, n)
 			}

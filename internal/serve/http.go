@@ -1,15 +1,21 @@
-// The HTTP surface of the placement service. Four endpoints:
+// The HTTP surface of the placement service. The service endpoints:
 //
 //	GET  /place?from=torus:8x2&to=mesh:4x4[&wait=1][&table=1]
 //	GET  /artifact?from=...&to=...
 //	GET  /status
 //	POST /warm          (body: a census artifact, JSON or NDJSON)
 //
+// plus the observability endpoints mounted from internal/obs: GET
+// /metrics (Prometheus text exposition of the server's registry), GET
+// /statusz (the same registry as JSON), and — when Config.Pprof is set
+// — the /debug/pprof/ suite.
+//
 // /place answers in the versioned Response schema below; /artifact
 // serves the raw stored place artifact (404 until the pair's search
 // has finished) so clients and CI can byte-compare against `place
 // -json` output; /warm accepts a sweep/sweepd census artifact in
-// either encoding and pre-seeds the cache from it.
+// either encoding and pre-seeds the cache from it. A cold-pair /place
+// against a full search queue answers 429 with a Retry-After header.
 
 package serve
 
@@ -19,10 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 
 	"torusmesh/internal/census"
 	"torusmesh/internal/grid"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/place"
 )
 
@@ -64,14 +73,30 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the server's HTTP interface.
+// Handler returns the server's HTTP interface: the service endpoints
+// (each behind a per-endpoint latency histogram) plus the registry's
+// /metrics and /statusz, and /debug/pprof/ when Config.Pprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/place", s.handlePlace)
-	mux.HandleFunc("/artifact", s.handleArtifact)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/warm", s.handleWarm)
+	mux.HandleFunc("/place", s.timed("place", s.handlePlace))
+	mux.HandleFunc("/artifact", s.timed("artifact", s.handleArtifact))
+	mux.HandleFunc("/status", s.timed("status", s.handleStatus))
+	mux.HandleFunc("/warm", s.timed("warm", s.handleWarm))
+	obs.Mount(mux, s.reg, s.cfg.Pprof)
 	return mux
+}
+
+// timed wraps one endpoint in its latency histogram
+// (placed_http_seconds{endpoint=...}), on the server's clock so tests
+// can pin exact expositions.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	s.reg.Describe("placed_http_seconds", "HTTP request latency, by endpoint.")
+	hist := s.reg.Histogram("placed_http_seconds", obs.DefDurationBuckets(), obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		h(w, r)
+		hist.Observe(s.now().Sub(start).Seconds())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -93,10 +118,25 @@ func errorCode(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnembeddable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrBacklogged):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// setRetryAfter adds the Retry-After header a backpressure refusal
+// carries (whole seconds, rounded up).
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var bp *backpressureError
+	if errors.As(err, &bp) {
+		secs := int(math.Ceil(bp.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 }
 
@@ -134,6 +174,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	a, err := s.Place(r.Context(), g, h, boolParam(r, "wait"))
 	if err != nil {
+		setRetryAfter(w, err)
 		writeError(w, errorCode(err), "%v", err)
 		return
 	}

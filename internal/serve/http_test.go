@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"torusmesh/internal/census"
 	"torusmesh/internal/embed"
@@ -83,7 +84,92 @@ func TestHTTPSearchedGolden(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	checkGolden(t, "placed-v1-status.golden.json", body)
+	checkGolden(t, "placed-v2-status.golden.json", body)
+}
+
+// TestHTTPMetricsGolden pins the full Prometheus /metrics exposition
+// for a known request sequence on a manual clock. The choreography —
+// one parked worker, explicit clock advances between phases — makes
+// every counter, histogram bucket and duration exact:
+//
+//	t+0s  cold A (baseline tier, search picked up immediately)
+//	t+2s  A again (singleflight dedup), cold B (queued), cold C
+//	      refused 429 (MaxQueue=1) with a Retry-After hint
+//	t+3s  A's search finishes: search 3s, time-to-upgrade 3s
+//	t+4s  B's search finishes: search 1s, time-to-upgrade 2s
+//	      A served at the searched tier, then /metrics scraped
+func TestHTTPMetricsGolden(t *testing.T) {
+	clock := newFakeClock()
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.now = clock.Now
+	cfg.MaxQueue = 1
+	cfg.searchFn = func(pc place.Config) (*place.Result, error) {
+		started <- struct{}{}
+		<-release
+		return place.Search(pc)
+	}
+	srv := newTestServer(t, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	place_ := func(query string, want int) []byte {
+		t.Helper()
+		code, body := get(t, ts, "/place?"+query)
+		if code != want {
+			t.Fatalf("GET /place?%s = %d (%s), want %d", query, code, body, want)
+		}
+		return body
+	}
+
+	// t+0: cold A answers baseline; wait until the worker holds it so
+	// the queue is deterministically empty.
+	place_("from=torus:8x2&to=mesh:4x4", http.StatusOK)
+	<-started
+
+	clock.Advance(2 * time.Second)
+	// t+2: A again joins the running search; cold B queues; cold C is
+	// refused — the queue is at MaxQueue.
+	place_("from=torus:8x2&to=mesh:4x4", http.StatusOK)
+	place_("from=torus:4x2&to=mesh:4x2", http.StatusOK)
+	resp, err := http.Get(ts.URL + "/place?from=torus:2x2x2&to=mesh:2x2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold pair against a full queue = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\" (one 2-wave queue drain)", ra)
+	}
+
+	// t+3: release A (3s search, 3s to upgrade); the worker moves on
+	// to B.
+	clock.Advance(time.Second)
+	release <- struct{}{}
+	<-started
+	// t+4: release B (1s search, 2s to upgrade since its creation).
+	clock.Advance(time.Second)
+	release <- struct{}{}
+	srv.Flush()
+
+	// A now serves the searched tier.
+	place_("from=torus:8x2&to=mesh:4x4", http.StatusOK)
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	checkGolden(t, "placed-metrics.golden.txt", body)
+
+	// The JSON snapshot view of the same registry must stay consistent.
+	code, body = get(t, ts, "/statusz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"placed_requests_total"`) {
+		t.Fatalf("/statusz = %d: %s", code, body)
+	}
 }
 
 // TestHTTPBaselineGolden pins the baseline-tier response: the single

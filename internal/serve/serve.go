@@ -19,6 +19,13 @@
 // A directory is bound to one search spec (place.Config.Spec(), kept
 // in a sidecar file); opening it under different settings is refused
 // rather than silently serving fronts from another objective.
+//
+// Every counter the server keeps lives on an obs.Registry — the same
+// instruments back both the /status JSON snapshot and the Prometheus
+// /metrics exposition, so the two can never disagree. When the
+// background search queue exceeds Config.MaxQueue, cold-pair requests
+// are refused with ErrBacklogged (HTTP 429 + Retry-After) instead of
+// growing the queue without bound.
 package serve
 
 import (
@@ -27,11 +34,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"torusmesh/internal/catalog"
 	"torusmesh/internal/census"
 	"torusmesh/internal/grid"
 	"torusmesh/internal/netsim"
+	"torusmesh/internal/obs"
 	"torusmesh/internal/place"
 	"torusmesh/internal/taskgraph"
 )
@@ -47,7 +56,24 @@ var (
 	// ErrUnembeddable reports a pair the baseline strategy cannot
 	// embed — there is nothing to serve at either tier.
 	ErrUnembeddable = errors.New("serve: pair has no baseline embedding")
+	// ErrBacklogged reports a cold-pair request refused because the
+	// background search queue is at Config.MaxQueue. The concrete error
+	// carries a Retry-After hint; the HTTP layer maps it to 429.
+	ErrBacklogged = errors.New("serve: search queue full")
 )
+
+// backpressureError is the concrete ErrBacklogged: it remembers the
+// Retry-After hint derived from the queue depth at refusal time.
+type backpressureError struct {
+	depth      int
+	retryAfter time.Duration
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("serve: search queue full (%d queued); retry in %s", e.depth, e.retryAfter)
+}
+
+func (e *backpressureError) Is(target error) bool { return target == ErrBacklogged }
 
 // Config describes one server.
 type Config struct {
@@ -63,6 +89,19 @@ type Config struct {
 	// SearchWorkers is the number of concurrent background searches
 	// (<= 0 means 1).
 	SearchWorkers int
+	// MaxQueue bounds the background search queue: when more than
+	// MaxQueue searches are waiting for a worker, cold-pair requests
+	// fail with ErrBacklogged instead of enqueuing (<= 0 means
+	// unbounded). Census warming is exempt — it is an operator action,
+	// not request traffic.
+	MaxQueue int
+	// Registry receives the server's metrics (and serves /metrics and
+	// /statusz on the Handler). Nil means a private registry — tests
+	// and embedded servers stay isolated; cmd/placed passes
+	// obs.Default() so engine-level metrics share the page.
+	Registry *obs.Registry
+	// Pprof opts the Handler into the /debug/pprof/ suite.
+	Pprof bool
 	// Log, when set, receives diagnostic lines (cache skips, search
 	// failures, census mismatches). Nil discards them.
 	Log func(format string, args ...any)
@@ -70,6 +109,10 @@ type Config struct {
 	// searchFn substitutes the search function in tests; nil means
 	// place.Search.
 	searchFn func(place.Config) (*place.Result, error)
+	// now substitutes the clock in tests; nil means time.Now. Uptime,
+	// time-to-upgrade and latency histograms all read it, which is what
+	// makes the /metrics exposition exactly reproducible under test.
+	now func() time.Time
 }
 
 // SearchState is the lifecycle of one entry's background search.
@@ -123,6 +166,10 @@ type entry struct {
 	key catalog.PairKey // canonical pair, identity perms
 	id  string          // key.String()
 
+	// created is when the entry (and so its background search) was
+	// enqueued; the time-to-upgrade histogram measures from here.
+	created time.Time
+
 	baselineOnce sync.Once
 	baseline     *place.Candidate
 	baselineErr  error
@@ -153,6 +200,9 @@ type Server struct {
 	spec      string // cfg.Place.Spec()
 	objective place.Objective
 	search    func(place.Config) (*place.Result, error)
+	now       func() time.Time
+	start     time.Time
+	reg       *obs.Registry
 
 	mu       sync.Mutex
 	entries  map[string]*entry
@@ -164,16 +214,22 @@ type Server struct {
 	wg       sync.WaitGroup // workers
 	searchWG sync.WaitGroup // queued or running searches (Flush)
 
-	requests        atomic.Int64
-	hits            atomic.Int64
-	misses          atomic.Int64
-	baselineServed  atomic.Int64
-	searches        atomic.Int64
-	searchFailures  atomic.Int64
-	warmQueued      atomic.Int64
-	warmMismatches  atomic.Int64
-	cacheLoaded     atomic.Int64
-	cacheLoadErrors atomic.Int64
+	// All counters live on reg so /status and /metrics read the same
+	// instruments.
+	requests        *obs.Counter
+	tierBaseline    *obs.Counter
+	tierSearched    *obs.Counter
+	misses          *obs.Counter
+	deduped         *obs.Counter
+	backpressure    *obs.Counter
+	searches        *obs.Counter
+	searchFailures  *obs.Counter
+	warmQueued      *obs.Counter
+	warmMismatches  *obs.Counter
+	cacheLoaded     *obs.Counter
+	cacheLoadErrors *obs.Counter
+	ttuSeconds      *obs.Histogram
+	searchSeconds   *obs.Histogram
 }
 
 // New builds a server, loads the persistent cache (when configured)
@@ -196,13 +252,25 @@ func New(cfg Config) (*Server, error) {
 	if (obj == place.Objective{}) {
 		obj = place.DefaultObjective()
 	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:       cfg,
 		spec:      cfg.Place.Spec(),
 		objective: obj,
 		search:    search,
+		now:       now,
+		start:     now(),
+		reg:       reg,
 		entries:   map[string]*entry{},
 	}
+	s.registerMetrics()
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.CacheDir != "" {
 		if err := s.openCache(); err != nil {
@@ -216,9 +284,64 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// registerMetrics creates the server's instruments on its registry.
+// Names follow the repo scheme (ARCHITECTURE.md "Observability"):
+// placed_ prefix, _total counters, _seconds duration histograms,
+// labeled variants for tiers and endpoints.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.Describe("placed_requests_total", "Place calls received.")
+	s.requests = r.Counter("placed_requests_total")
+	r.Describe("placed_tier_served_total", "Answers served, by tier.")
+	s.tierBaseline = r.Counter("placed_tier_served_total", obs.L("tier", string(TierBaseline)))
+	s.tierSearched = r.Counter("placed_tier_served_total", obs.L("tier", string(TierSearched)))
+	r.Describe("placed_cache_misses_total", "Requests that created a cache entry (and its background search).")
+	s.misses = r.Counter("placed_cache_misses_total")
+	r.Describe("placed_singleflight_dedup_total", "Requests that joined an already-running or queued search instead of starting one.")
+	s.deduped = r.Counter("placed_singleflight_dedup_total")
+	r.Describe("placed_backpressure_total", "Cold-pair requests refused with 429 because the search queue was full.")
+	s.backpressure = r.Counter("placed_backpressure_total")
+	r.Describe("placed_searches_total", "Background searches started.")
+	s.searches = r.Counter("placed_searches_total")
+	r.Describe("placed_search_failures_total", "Background searches that failed.")
+	s.searchFailures = r.Counter("placed_search_failures_total")
+	r.Describe("placed_warm_queued_total", "Searches enqueued by census warming.")
+	s.warmQueued = r.Counter("placed_warm_queued_total")
+	r.Describe("placed_warm_mismatches_total", "Warm searches whose winner disagreed with the census's recorded winner.")
+	s.warmMismatches = r.Counter("placed_warm_mismatches_total")
+	r.Describe("placed_cache_loaded_total", "Entries restored from the cache directory at startup.")
+	s.cacheLoaded = r.Counter("placed_cache_loaded_total")
+	r.Describe("placed_cache_load_errors_total", "Cache files skipped as unreadable at startup.")
+	s.cacheLoadErrors = r.Counter("placed_cache_load_errors_total")
+	r.Describe("placed_time_to_upgrade_seconds", "Time from entry creation to searched-tier availability.")
+	s.ttuSeconds = r.Histogram("placed_time_to_upgrade_seconds", obs.DefDurationBuckets())
+	r.Describe("placed_search_seconds", "Background search wall time.")
+	s.searchSeconds = r.Histogram("placed_search_seconds", obs.DefDurationBuckets())
+
+	r.Describe("placed_uptime_seconds", "Seconds since the server started.")
+	r.GaugeFunc("placed_uptime_seconds", func() float64 { return s.now().Sub(s.start).Seconds() })
+	r.Describe("placed_search_queue_depth", "Searches waiting for a worker.")
+	r.GaugeFunc("placed_search_queue_depth", func() float64 {
+		s.mu.Lock()
+		d := len(s.pending)
+		s.mu.Unlock()
+		return float64(d)
+	})
+	r.Describe("placed_searches_inflight", "Searches running right now.")
+	r.GaugeFunc("placed_searches_inflight", func() float64 {
+		s.mu.Lock()
+		d := s.inflight
+		s.mu.Unlock()
+		return float64(d)
+	})
+}
+
 // Spec returns the canonical search-settings string every entry of
 // this server is produced under.
 func (s *Server) Spec() string { return s.spec }
+
+// Registry returns the registry the server's metrics live on.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Answer is one resolved placement request.
 type Answer struct {
@@ -246,7 +369,7 @@ type Answer struct {
 // wait=true it blocks (under ctx) until the search settles. Requests
 // for searched pairs return the stored front.
 func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer, error) {
-	s.requests.Add(1)
+	s.requests.Inc()
 	key, err := catalog.CanonicalPair(g, h)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadPair, err)
@@ -256,7 +379,9 @@ func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer,
 		return nil, err
 	}
 	if created {
-		s.misses.Add(1)
+		s.misses.Inc()
+	} else if st := SearchState(e.state.Load()); st == SearchQueued || st == SearchRunning {
+		s.deduped.Inc()
 	}
 	if wait {
 		select {
@@ -266,7 +391,7 @@ func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer,
 		}
 	}
 	if SearchState(e.state.Load()) == SearchDone {
-		s.hits.Add(1)
+		s.tierSearched.Inc()
 		return &Answer{
 			Key:      key,
 			Tier:     TierSearched,
@@ -280,7 +405,7 @@ func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer,
 	if e.baselineErr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnembeddable, e.baselineErr)
 	}
-	s.baselineServed.Add(1)
+	s.tierBaseline.Inc()
 	a := &Answer{
 		Key:      key,
 		Tier:     TierBaseline,
@@ -298,7 +423,9 @@ func (s *Server) Place(ctx context.Context, g, h grid.Spec, wait bool) (*Answer,
 // enqueuing its one background search — when absent. The created
 // return is true only for the request that created the entry, which
 // is what makes the dedup singleflight: every later concurrent caller
-// lands on the same entry and no second search exists to join.
+// lands on the same entry and no second search exists to join. A
+// would-be creation against a full queue is refused with
+// ErrBacklogged instead.
 func (s *Server) lookup(key catalog.PairKey) (*entry, bool, error) {
 	id := key.String()
 	s.mu.Lock()
@@ -309,13 +436,29 @@ func (s *Server) lookup(key catalog.PairKey) (*entry, bool, error) {
 	if e := s.entries[id]; e != nil {
 		return e, false, nil
 	}
+	if s.cfg.MaxQueue > 0 && len(s.pending) >= s.cfg.MaxQueue {
+		s.backpressure.Inc()
+		return nil, false, &backpressureError{
+			depth:      len(s.pending),
+			retryAfter: s.retryAfterLocked(),
+		}
+	}
 	e, err := newEntry(key)
 	if err != nil {
 		return nil, false, err
 	}
+	e.created = s.now()
 	s.entries[id] = e
 	s.enqueueLocked(e)
 	return e, true, nil
+}
+
+// retryAfterLocked estimates how long a refused client should wait:
+// one queue-drain's worth of searches per worker, floored at a second.
+// It is a hint, not a promise — the point is to spread retries.
+func (s *Server) retryAfterLocked() time.Duration {
+	waves := len(s.pending)/s.cfg.SearchWorkers + 1
+	return time.Duration(waves) * time.Second
 }
 
 // newEntry builds the cache slot for a key's canonical pair. The
@@ -362,8 +505,9 @@ func (s *Server) worker() {
 // runSearch upgrades one entry: the full placement search on the
 // canonical pair, encoded to the artifact bytes the cache persists.
 func (s *Server) runSearch(e *entry) {
+	started := s.now()
 	e.state.Store(int32(SearchRunning))
-	s.searches.Add(1)
+	s.searches.Inc()
 	cfg := s.cfg.Place
 	cfg.Guest, cfg.Host = e.key.Guest, e.key.Host
 	res, err := s.search(cfg)
@@ -374,7 +518,8 @@ func (s *Server) runSearch(e *entry) {
 	if err != nil {
 		e.searchErr = err
 		e.state.Store(int32(SearchFailed))
-		s.searchFailures.Add(1)
+		s.searchFailures.Inc()
+		s.searchSeconds.Observe(s.now().Sub(started).Seconds())
 		s.cfg.Log("serve: search %s failed: %v", e.id, err)
 		close(e.done)
 		return
@@ -390,12 +535,15 @@ func (s *Server) runSearch(e *entry) {
 	e.artifact = artifact
 	if e.warm != nil {
 		if got := place.Summary(res.Best); *got != *e.warm {
-			s.warmMismatches.Add(1)
+			s.warmMismatches.Inc()
 			s.cfg.Log("serve: census winner for %s disagrees with search: census %+v, search %+v",
 				e.id, *e.warm, *got)
 		}
 	}
 	e.state.Store(int32(SearchDone))
+	now := s.now()
+	s.searchSeconds.Observe(now.Sub(started).Seconds())
+	s.ttuSeconds.Observe(now.Sub(e.created).Seconds())
 	if err := s.store(e); err != nil {
 		s.cfg.Log("serve: cache write for %s failed: %v", e.id, err)
 	}
@@ -526,14 +674,17 @@ func (s *Server) Close() error {
 }
 
 // StatusSchemaVersion versions the Status document (the /status wire
-// format).
-const StatusSchemaVersion = 1
+// format). v2 added uptime_seconds and deduped.
+const StatusSchemaVersion = 2
 
 // Status is a point-in-time snapshot of the server's cache and
-// counters.
+// counters. Every counter is read from the same obs.Registry
+// instruments /metrics exposes, so the two views cannot disagree.
 type Status struct {
 	Schema    int    `json:"schema"`
 	PlaceSpec string `json:"place_spec"`
+	// UptimeSeconds is how long the server has been running.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Pairs is the number of cache entries; Searched/Failed split them
 	// by terminal search state (the remainder are queued or running).
 	Pairs    int `json:"pairs"`
@@ -545,11 +696,15 @@ type Status struct {
 	Inflight   int `json:"inflight"`
 	// Requests counts Place calls; Misses the ones that created an
 	// entry; Hits the ones answered at the searched tier;
-	// BaselineServed the ones answered at the baseline tier.
+	// BaselineServed the ones answered at the baseline tier; Deduped
+	// the ones that joined an in-progress search; Backpressured the
+	// ones refused because the queue was full.
 	Requests       int64 `json:"requests"`
 	Hits           int64 `json:"hits"`
 	Misses         int64 `json:"misses"`
 	BaselineServed int64 `json:"baseline_served"`
+	Deduped        int64 `json:"deduped"`
+	Backpressured  int64 `json:"backpressured"`
 	// Searches counts started background searches, SearchFailures the
 	// failed ones.
 	Searches       int64 `json:"searches"`
@@ -571,16 +726,19 @@ func (s *Server) Status() Status {
 	st := Status{
 		Schema:          StatusSchemaVersion,
 		PlaceSpec:       s.spec,
-		Requests:        s.requests.Load(),
-		Hits:            s.hits.Load(),
-		Misses:          s.misses.Load(),
-		BaselineServed:  s.baselineServed.Load(),
-		Searches:        s.searches.Load(),
-		SearchFailures:  s.searchFailures.Load(),
-		WarmQueued:      s.warmQueued.Load(),
-		WarmMismatches:  s.warmMismatches.Load(),
-		CacheLoaded:     s.cacheLoaded.Load(),
-		CacheLoadErrors: s.cacheLoadErrors.Load(),
+		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
+		Requests:        s.requests.Value(),
+		Hits:            s.tierSearched.Value(),
+		Misses:          s.misses.Value(),
+		BaselineServed:  s.tierBaseline.Value(),
+		Deduped:         s.deduped.Value(),
+		Backpressured:   s.backpressure.Value(),
+		Searches:        s.searches.Value(),
+		SearchFailures:  s.searchFailures.Value(),
+		WarmQueued:      s.warmQueued.Value(),
+		WarmMismatches:  s.warmMismatches.Value(),
+		CacheLoaded:     s.cacheLoaded.Value(),
+		CacheLoadErrors: s.cacheLoadErrors.Value(),
 	}
 	s.mu.Lock()
 	st.Pairs = len(s.entries)

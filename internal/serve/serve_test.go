@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"torusmesh/internal/census"
 	"torusmesh/internal/grid"
@@ -16,8 +17,33 @@ import (
 	"torusmesh/internal/taskgraph"
 )
 
+// fakeClock is a manually advanced clock injected via Config.now: it
+// never moves on its own, so durations (uptime, time-to-upgrade,
+// latency histograms) are exactly the Advances the test performs —
+// which is what pins the /metrics exposition byte-for-byte.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
 // testConfig is the small deterministic search settings every serve
 // test runs under; searches on 8-node pairs finish in milliseconds.
+// The clock is frozen so status snapshots and metric expositions are
+// reproducible.
 func testConfig() Config {
 	return Config{
 		Place: place.Config{
@@ -26,6 +52,7 @@ func testConfig() Config {
 			Rotations:   true,
 			Strategies:  place.DefaultStrategies(),
 		},
+		now: newFakeClock().Now,
 	}
 }
 
@@ -380,6 +407,66 @@ func checkTableCosts(t *testing.T, g, h grid.Spec, table []int, wantDil, wantPea
 	})
 	if dil != wantDil {
 		t.Errorf("denormalized table dilation = %d, served answer says %d", dil, wantDil)
+	}
+}
+
+// TestBackpressure: with MaxQueue set, a cold-pair request against a
+// full queue is refused with ErrBacklogged (counter-tracked), while
+// requests for already-known pairs still answer.
+func TestBackpressure(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.MaxQueue = 1
+	cfg.searchFn = func(pc place.Config) (*place.Result, error) {
+		started <- struct{}{}
+		<-release
+		return place.Search(pc)
+	}
+	srv := newTestServer(t, cfg)
+	t.Cleanup(func() { close(release) }) // runs before srv.Close
+
+	// Occupy the single worker, then wait until it has actually picked
+	// the decoy up so the queue is deterministically empty again.
+	if _, err := srv.Place(context.Background(), grid.TorusSpec(4, 2), grid.MeshSpec(4, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Fill the queue (depth 1 = MaxQueue) ...
+	if _, err := srv.Place(context.Background(), grid.TorusSpec(8), grid.TorusSpec(8), false); err != nil {
+		t.Fatal(err)
+	}
+	// ... so the next cold pair is refused.
+	_, err := srv.Place(context.Background(), grid.TorusSpec(2, 2, 2), grid.MeshSpec(2, 2, 2), false)
+	if !errors.Is(err, ErrBacklogged) {
+		t.Fatalf("cold pair against a full queue returned %v, want ErrBacklogged", err)
+	}
+	var bp *backpressureError
+	if !errors.As(err, &bp) || bp.retryAfter <= 0 {
+		t.Fatalf("backpressure error carries no retry hint: %#v", err)
+	}
+
+	// A known pair still answers — backpressure only guards creations.
+	if _, err := srv.Place(context.Background(), grid.TorusSpec(8), grid.TorusSpec(8), false); err != nil {
+		t.Fatalf("known pair refused under backpressure: %v", err)
+	}
+
+	if st := srv.Status(); st.Backpressured != 1 {
+		t.Fatalf("backpressured = %d, want 1", st.Backpressured)
+	}
+}
+
+// TestStatusUptime: Status reports the injected clock's elapsed time,
+// and the registry's uptime gauge agrees with it.
+func TestStatusUptime(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.now = clock.Now
+	srv := newTestServer(t, cfg)
+	clock.Advance(90 * time.Second)
+	if st := srv.Status(); st.UptimeSeconds != 90 {
+		t.Fatalf("uptime = %v, want 90", st.UptimeSeconds)
 	}
 }
 

@@ -70,6 +70,7 @@ func (s *Server) WarmCensus(c *census.Census) (WarmStats, error) {
 			ws.Skipped++
 			continue
 		}
+		e.created = s.now()
 		if specMatches {
 			e.warm = r.Place
 		}
