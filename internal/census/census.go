@@ -133,6 +133,11 @@ type Config struct {
 	// a cancelled context reaches a run already in flight (the
 	// distributed driver's in-process workers poll ctx.Err here).
 	Interrupt func() bool
+	// Clock substitutes the wall clock behind the census's Elapsed and
+	// each pair's Wall measurement. Nil means time.Now. Wall times
+	// serialize as json:"-" and never enter artifacts, so this is a
+	// pure testability knob, aligned with serve.Config's.
+	Clock func() time.Time
 }
 
 // ErrInterrupted is returned by Run when Config.Interrupt stopped the
@@ -269,6 +274,9 @@ func (cfg *Config) validate() error {
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	if cfg.Shards < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return fmt.Errorf("census: shard %d/%d out of range", cfg.Shard, cfg.Shards)
 	}
@@ -299,7 +307,7 @@ func Run(cfg Config) (*Census, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := cfg.Clock()
 	specs := cfg.specs()
 	space := len(specs) * len(specs)
 	indices := make([]int, 0, (space+cfg.Shards-1)/cfg.Shards)
@@ -347,7 +355,7 @@ func Run(cfg Config) (*Census, error) {
 		Results:    results,
 	}
 	c.recount()
-	c.Elapsed = time.Since(start)
+	c.Elapsed = cfg.Clock().Sub(start)
 	return c, nil
 }
 
@@ -535,7 +543,8 @@ func newEvaluator(cfg *Config, specs []grid.Spec, indices []int) *evaluator {
 
 // pair evaluates one ordered (guest, host) pair.
 func (ev *evaluator) pair(idx int, g, h grid.Spec) PairResult {
-	start := time.Now()
+	now := ev.cfg.Clock
+	start := now()
 	pr := PairResult{Index: idx, Guest: g.String(), Host: h.String()}
 	if ev.cfg.Strategy != nil {
 		strategy, err := ev.cfg.Strategy(g, h)
@@ -544,18 +553,18 @@ func (ev *evaluator) pair(idx int, g, h grid.Spec) PairResult {
 		} else {
 			pr.Strategy = strategy
 		}
-		pr.Wall = time.Since(start)
+		pr.Wall = now().Sub(start)
 		return pr
 	}
 	e, err := ev.cfg.Embed(g, h)
 	if err != nil {
 		pr.Failure, pr.FailureStage = err.Error(), StageConstruct
-		pr.Wall = time.Since(start)
+		pr.Wall = now().Sub(start)
 		return pr
 	}
 	pr.Strategy, pr.Predicted = e.Strategy, e.Predicted
 	ev.measure(&pr, e, g, h)
-	pr.Wall = time.Since(start)
+	pr.Wall = now().Sub(start)
 	return pr
 }
 

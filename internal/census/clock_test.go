@@ -1,0 +1,33 @@
+package census_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClockInjection proves Config.Clock fully substitutes the wall
+// clock: with a stepping fake, the census Elapsed spans exactly the
+// first-to-last clock reads, and every pair Wall is a whole number of
+// ticks. The fake must be goroutine-safe — pairs read it from the
+// worker pool.
+func TestClockInjection(t *testing.T) {
+	const tick = time.Hour
+	var reads atomic.Int64
+	base := time.Unix(0, 0)
+	cfg := richConfig(6, 2)
+	cfg.Clock = func() time.Time {
+		return base.Add(time.Duration(reads.Add(1)) * tick)
+	}
+	c := mustRun(t, cfg)
+	// Run's start read is the first, its Elapsed read the last.
+	want := time.Duration(reads.Load()-1) * tick
+	if c.Elapsed != want {
+		t.Errorf("Elapsed = %v, want %v (%d clock reads)", c.Elapsed, want, reads.Load())
+	}
+	for _, pr := range c.Results {
+		if pr.Wall <= 0 || pr.Wall%tick != 0 {
+			t.Errorf("pair %s in %s: Wall = %v, not a positive tick multiple", pr.Guest, pr.Host, pr.Wall)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package driver_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"torusmesh/internal/driver"
+)
+
+// TestClockInjection proves Plan.Clock substitutes the wall clock for
+// the merged Elapsed and the attempt timings: with an hour-stepping
+// fake, every measured duration is a whole number of hours — values a
+// real clock could not produce in-process. The fake must be
+// goroutine-safe; workers and the straggler monitor read it
+// concurrently.
+func TestClockInjection(t *testing.T) {
+	const tick = time.Hour
+	var reads atomic.Int64
+	base := time.Unix(0, 0)
+	c := run(t, driver.Plan{
+		Config: template(6, 2), Shards: 3, Workers: 2,
+		Worker: driver.InProcess{}, Backoff: fastRetry,
+		Clock: func() time.Time {
+			return base.Add(time.Duration(reads.Add(1)) * tick)
+		},
+	})
+	if c.Elapsed <= 0 || c.Elapsed%tick != 0 {
+		t.Errorf("merged Elapsed = %v, not a positive tick multiple", c.Elapsed)
+	}
+	if reads.Load() == 0 {
+		t.Error("injected clock was never read")
+	}
+}

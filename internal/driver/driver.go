@@ -131,6 +131,12 @@ type Plan struct {
 	// private registry; cmd/sweepd passes obs.Default() so the fold
 	// shares a /metrics page with the engines it drives.
 	Registry *obs.Registry
+	// Clock substitutes the wall clock — attempt timing, the straggler
+	// cutoff and the merged census's Elapsed all read it. Nil means
+	// time.Now. Wall times never enter artifacts (they serialize as
+	// json:"-"), so this is a pure testability knob, aligned with
+	// serve.Config's.
+	Clock func() time.Time
 	// Log, when set, receives progress and retry diagnostics.
 	Log func(format string, args ...any)
 }
@@ -142,6 +148,7 @@ type Driver struct {
 	plan        Plan
 	specs       []string // spec strings in enumeration order
 	space       int      // len(specs)^2
+	now         func() time.Time
 	retries     int
 	backoff     time.Duration
 	stragglerIv time.Duration
@@ -185,9 +192,13 @@ func New(plan Plan) (*Driver, error) {
 	}
 	d := &Driver{
 		plan:        plan,
+		now:         plan.Clock,
 		retries:     plan.Retries,
 		backoff:     plan.Backoff,
 		stragglerIv: plan.StragglerInterval,
+	}
+	if d.now == nil {
+		d.now = time.Now
 	}
 	switch {
 	case d.retries == 0:
@@ -400,7 +411,7 @@ func (d *Driver) completeShardLocked(st *state, shard int) {
 // recounted), so for a given template it is byte-for-byte the artifact
 // an unsharded census.Run would have produced.
 func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
-	start := time.Now()
+	start := d.now()
 	m := d.plan.Shards
 	st := d.st
 	// Shards beyond the pair space have empty stripes: complete now,
@@ -443,11 +454,11 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 			defer wg.Done()
 			for at := range jobs {
 				atCtx, job := d.jobFor(st, at)
-				begin := time.Now()
+				begin := d.now()
 				err := d.plan.Worker.Run(atCtx, job, func(r census.PairResult) error {
 					return d.fold(st, &r, at.shard, true)
 				})
-				dur := time.Since(begin)
+				dur := d.now().Sub(begin)
 				d.attemptSeconds.Observe(dur.Seconds())
 				events <- event{at: at, err: err, dur: dur}
 			}
@@ -466,7 +477,7 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 			return
 		}
 		atCtx, cancel := context.WithCancel(runCtx)
-		at := &attempt{shard: s, n: st.issued[s], start: time.Now(), ctx: atCtx, cancel: cancel}
+		at := &attempt{shard: s, n: st.issued[s], start: d.now(), ctx: atCtx, cancel: cancel}
 		st.issued[s]++
 		st.live[s] = append(st.live[s], at)
 		st.mu.Unlock()
@@ -523,7 +534,7 @@ func (d *Driver) Run(ctx context.Context) (*census.Census, error) {
 		// down to zero before we got here.
 		return nil, fmt.Errorf("driver: final merge: %v", err)
 	}
-	merged.Elapsed = time.Since(start)
+	merged.Elapsed = d.now().Sub(start)
 	return merged, nil
 }
 
@@ -619,7 +630,7 @@ func (d *Driver) stragglers(st *state) []int {
 			continue
 		}
 		at := st.live[s][0]
-		if !at.reissued && time.Since(at.start) > cutoff {
+		if !at.reissued && d.now().Sub(at.start) > cutoff {
 			at.reissued = true
 			st.reissues[s]++
 			d.stragglerReissues.Inc()

@@ -390,7 +390,7 @@ func (s *searcher) annealFront(variants []variantSpec, scored, front []Candidate
 	par.Blocks(len(seeds), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			seed := seeds[k]
-			t0 := time.Now()
+			t0 := cfg.Clock()
 			e, err := s.build(variants[seed.Index])
 			if err != nil {
 				outs[k] = annealOutcome{err: fmt.Errorf("place: anneal: rebuilding seed %d: %v", seed.Index, err)}
@@ -403,7 +403,7 @@ func (s *searcher) annealFront(variants []variantSpec, scored, front []Candidate
 				outs[k] = annealOutcome{err: fmt.Errorf("place: anneal: seed %d: %v", seed.Index, err)}
 				continue
 			}
-			outs[k] = annealOutcome{tab: tab, got: got, elapsed: time.Since(t0)}
+			outs[k] = annealOutcome{tab: tab, got: got, elapsed: cfg.Clock().Sub(t0)}
 		}
 	})
 	var refined []Candidate

@@ -1,0 +1,47 @@
+package place
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"torusmesh/internal/grid"
+)
+
+// TestClockInjection proves Config.Clock substitutes the wall clock
+// behind Result.Elapsed and the per-run annealing timings: with a
+// stepping fake, Elapsed spans exactly the first-to-last clock reads
+// and every AnnealRuns duration is a whole number of ticks. The fake
+// must be goroutine-safe — annealing runs read it from par.Blocks.
+func TestClockInjection(t *testing.T) {
+	const tick = time.Minute
+	var reads atomic.Int64
+	base := time.Unix(0, 0)
+	res, err := Search(Config{
+		Guest:       grid.TorusSpec(8, 2),
+		Host:        grid.MeshSpec(4, 4),
+		Budget:      8,
+		Anneal:      true,
+		AnnealSteps: 64,
+		Strategies:  DefaultStrategies(),
+		Clock: func() time.Time {
+			return base.Add(time.Duration(reads.Add(1)) * tick)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search's start read is the first, its Elapsed read the last.
+	want := time.Duration(reads.Load()-1) * tick
+	if res.Elapsed != want {
+		t.Errorf("Elapsed = %v, want %v (%d clock reads)", res.Elapsed, want, reads.Load())
+	}
+	if len(res.AnnealRuns) == 0 {
+		t.Fatal("no annealing runs recorded")
+	}
+	for _, ar := range res.AnnealRuns {
+		if ar.Elapsed <= 0 || ar.Elapsed%tick != 0 {
+			t.Errorf("anneal seed %d: Elapsed = %v, not a positive tick multiple", ar.SeedIndex, ar.Elapsed)
+		}
+	}
+}

@@ -191,7 +191,10 @@ const DefaultBudget = 128
 
 // Config describes one placement search.
 type Config struct {
-	// Guest and Host must have the same size.
+	// Guest and Host must have the same size. They are the pair's
+	// identity, recorded separately in the artifact, not a search
+	// setting — so they are deliberately outside Spec().
+	//torusmesh:nospec
 	Guest, Host grid.Spec
 	// Objective is the score being minimized; the zero value means
 	// DefaultObjective.
@@ -234,13 +237,23 @@ type Config struct {
 	// are bit-for-bit identical in results, so this knob exists for
 	// benchmarks and escape-hatch debugging and is deliberately NOT part
 	// of Config.Spec(): artifacts do not depend on it.
+	//torusmesh:nospec
 	WideTables bool
+	// Clock substitutes the wall clock behind Result.Elapsed and the
+	// per-run AnnealRuns timings. Nil means time.Now. Wall times
+	// serialize as json:"-" and never enter artifacts, so the clock is
+	// measurement-only and deliberately outside Spec().
+	//torusmesh:nospec
+	Clock func() time.Time
 	// Strategies are the base constructions; Strategies[0] is the
 	// baseline the search reports against. At least one is required.
 	Strategies []Strategy
 }
 
 func (cfg *Config) validate() error {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	if err := cfg.Guest.Shape.Validate(); err != nil {
 		return fmt.Errorf("place: guest: %v", err)
 	}
@@ -768,10 +781,10 @@ func (u *unitFloor) prunes(dil int) bool {
 // It fails when the pair is invalid or the baseline strategy cannot
 // embed it.
 func Search(cfg Config) (*Result, error) {
-	start := time.Now()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	start := cfg.Clock()
 	variants, space := enumerate(&cfg)
 	s := newSearcher(&cfg)
 
@@ -902,6 +915,6 @@ func Search(cfg Config) (*Result, error) {
 		}
 	}
 	res.BestEmbedding = best
-	res.Elapsed = time.Since(start)
+	res.Elapsed = cfg.Clock().Sub(start)
 	return res, nil
 }

@@ -1,0 +1,7 @@
+module torusmesh/tools/analyze
+
+go 1.24
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

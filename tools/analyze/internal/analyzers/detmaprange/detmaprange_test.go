@@ -1,0 +1,17 @@
+package detmaprange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"torusmesh/tools/analyze/internal/analyzers/detmaprange"
+	"torusmesh/tools/analyze/internal/analyzertest"
+)
+
+func TestDetMapRange(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzertest.Run(t, td, detmaprange.Analyzer, "detmaprange")
+}

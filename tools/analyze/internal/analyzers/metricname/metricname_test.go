@@ -1,0 +1,17 @@
+package metricname_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"torusmesh/tools/analyze/internal/analyzers/metricname"
+	"torusmesh/tools/analyze/internal/analyzertest"
+)
+
+func TestMetricName(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzertest.Run(t, td, metricname.Analyzer, "metricname")
+}

@@ -1,0 +1,17 @@
+package rngdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"torusmesh/tools/analyze/internal/analyzers/rngdiscipline"
+	"torusmesh/tools/analyze/internal/analyzertest"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzertest.Run(t, td, rngdiscipline.Analyzer, "rngdiscipline")
+}

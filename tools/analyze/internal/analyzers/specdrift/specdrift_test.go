@@ -1,0 +1,19 @@
+package specdrift_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"torusmesh/tools/analyze/internal/analyzers/specdrift"
+	"torusmesh/tools/analyze/internal/analyzertest"
+)
+
+func TestSpecDrift(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// specdrift activates on Config+Spec packages; nospecmethod proves
+	// it stays inert without a Spec() method (its fixture has no wants).
+	analyzertest.Run(t, td, specdrift.Analyzer, "specdrift", "nospecmethod")
+}

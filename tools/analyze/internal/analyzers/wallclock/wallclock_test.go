@@ -1,0 +1,19 @@
+package wallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"torusmesh/tools/analyze/internal/analyzers/wallclock"
+	"torusmesh/tools/analyze/internal/analyzertest"
+)
+
+func TestWallclock(t *testing.T) {
+	td, err := filepath.Abs(filepath.Join("..", "..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/driver matches the target list; otherpkg proves the
+	// analyzer stays inert elsewhere (its fixture has no wants).
+	analyzertest.Run(t, td, wallclock.Analyzer, "internal/driver", "otherpkg")
+}

@@ -1,0 +1,33 @@
+// Command torusmesh-analyze is the repo's static-analysis gate: five
+// analyzers that machine-check the determinism, spec-token and metrics
+// invariants every engine's bit-for-bit guarantee rests on. It speaks
+// the `go vet -vettool` protocol, so the whole suite runs over the
+// root module as
+//
+//	go build -o /tmp/torusmesh-analyze ./tools/analyze
+//	go vet -vettool=/tmp/torusmesh-analyze ./...
+//
+// (from the repo root; any diagnostic fails the vet run). See
+// ARCHITECTURE.md, "Static analysis" for what each analyzer enforces
+// and the //torusmesh:* annotation escape hatches.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"torusmesh/tools/analyze/internal/analyzers/detmaprange"
+	"torusmesh/tools/analyze/internal/analyzers/metricname"
+	"torusmesh/tools/analyze/internal/analyzers/rngdiscipline"
+	"torusmesh/tools/analyze/internal/analyzers/specdrift"
+	"torusmesh/tools/analyze/internal/analyzers/wallclock"
+)
+
+func main() {
+	unitchecker.Main(
+		detmaprange.Analyzer,
+		wallclock.Analyzer,
+		rngdiscipline.Analyzer,
+		specdrift.Analyzer,
+		metricname.Analyzer,
+	)
+}

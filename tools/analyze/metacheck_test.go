@@ -1,0 +1,32 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteCleanOnRepo is the meta-gate: the multichecker binary,
+// driven exactly the way CI drives it (go vet -vettool over the root
+// module), must exit 0 on the repo itself. Any new diagnostic — a
+// stray time.Now, an unsorted emitting map range, a Config knob
+// missing from Spec() — fails this test before it fails CI.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole root module under vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "torusmesh-analyze")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building the analyzer binary: %v\n%s", err, out)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("the analyzer suite is not clean over the repo:\n%s", out)
+	}
+}

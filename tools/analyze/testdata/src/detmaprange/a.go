@@ -1,0 +1,73 @@
+// Fixtures for the detmaprange analyzer: map iteration feeding output
+// is flagged; collect-sort-emit and annotated loops are not.
+package detmaprange
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func emitPrintf(m map[string]int) {
+	for k, v := range m { // want "map iteration order is randomized"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func emitBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "map iteration order is randomized"
+		b.WriteString(k)
+	}
+}
+
+func emitEncoderNested(m map[string]int, enc *json.Encoder) error {
+	for _, v := range m { // want "map iteration order is randomized"
+		if v > 0 {
+			if err := enc.Encode(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func emitMarshal(m map[string]int) [][]byte {
+	var out [][]byte
+	for _, v := range m { // want "map iteration order is randomized"
+		b, _ := json.Marshal(v)
+		out = append(out, b)
+	}
+	return out
+}
+
+// sortedIsFine is the sanctioned idiom: collect, sort, emit from the
+// slice. Neither loop is flagged — the map range does not emit, and
+// the emitting range is over a slice.
+func sortedIsFine(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// quietMapRange aggregates without emitting: not flagged.
+func quietMapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// annotated loops are a deliberate, visible escape hatch.
+func annotated(m map[string]int) {
+	//torusmesh:sorted order-insensitive: one line per key, consumer sorts
+	for k := range m {
+		fmt.Println(k)
+	}
+}

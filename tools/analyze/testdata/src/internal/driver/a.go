@@ -1,0 +1,34 @@
+// Fixtures for the wallclock analyzer, in a package path matching its
+// internal/driver target: direct clock calls are flagged; the
+// injectable-clock idiom and annotated sites are not.
+package driver
+
+import "time"
+
+type engine struct {
+	now func() time.Time
+}
+
+// newEngine shows the sanctioned pattern: the time.Now *value* as the
+// nil-config default is a reference, not a call, and is allowed.
+func newEngine(clock func() time.Time) *engine {
+	e := &engine{now: clock}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	return e
+}
+
+func (e *engine) elapsed(t0 time.Time) time.Duration {
+	return e.now().Sub(t0)
+}
+
+func direct() time.Duration {
+	t0 := time.Now()      // want "direct time.Now call"
+	return time.Since(t0) // want "direct time.Since call"
+}
+
+func annotated() time.Time {
+	//torusmesh:wallclock journal stamps record real wall time by design
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Fixtures for the metricname analyzer: non-constant names, grammar
+// violations, unlabeled re-registration and kind conflicts are
+// flagged; constant names, Describe+register pairs, labeled families
+// and annotated reuse are not.
+package metricname
+
+import "obs"
+
+const prefix = "placed_"
+
+func register(r *obs.Registry, dynamic string) {
+	// The sanctioned shapes.
+	r.Describe("placed_requests_total", "Place calls received.")
+	r.Counter("placed_requests_total")
+	r.Counter(prefix + "cache_misses_total")
+	r.GaugeFunc("placed_uptime_seconds", func() float64 { return 0 })
+	r.Counter("placed_tier_served_total", obs.L("tier", "baseline"))
+	r.Counter("placed_tier_served_total", obs.L("tier", "searched"))
+	r.Histogram("placed_http_seconds", []float64{1, 2}, obs.L("endpoint", "/place"))
+	r.Histogram("placed_http_seconds", []float64{1, 2}, obs.L("endpoint", "/artifact"))
+
+	// The violations.
+	r.Counter(dynamic)                     // want "must be a compile-time string constant"
+	r.Gauge("Placed-Depth")                // want "does not match the Prometheus grammar"
+	r.Counter("placed_cache_misses_total") // want "registered more than once in this package"
+	r.Gauge("placed_requests_total")       // want "registered as Gauge here but as Counter"
+
+	// Deliberate reuse carries the annotation.
+	//torusmesh:metric-reuse mirrored onto a second registry on purpose
+	r.Counter("placed_requests_total")
+}

@@ -1,0 +1,10 @@
+// A Config without a Spec() method: the specdrift analyzer stays
+// inert — there is no spec token to drift from.
+package nospecmethod
+
+type Config struct {
+	Budget  int
+	Threads int
+}
+
+func Search(cfg Config) int { return cfg.Budget * cfg.Threads }

@@ -1,0 +1,7 @@
+// A package outside the wallclock analyzer's target list: direct
+// clock reads are fine here.
+package otherpkg
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,37 @@
+// Fixtures for the rngdiscipline analyzer: global math/rand draws are
+// flagged; seeded instances and annotated sites are not.
+package rngdiscipline
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraw(n int) int {
+	return rand.Intn(n) // want "global rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func globalV2() int {
+	return randv2.Int() // want "global rand.Int"
+}
+
+// seeded is the sanctioned pattern: an explicit source, an explicit
+// seed, a private stream.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func seededV2(a, b uint64) int {
+	rng := randv2.New(randv2.NewPCG(a, b))
+	return rng.Int()
+}
+
+func annotated() float64 {
+	//torusmesh:rng jitter on a retry backoff; never reaches an artifact
+	return rand.Float64()
+}

@@ -1,0 +1,31 @@
+// Fixtures for the specdrift analyzer: a Config field the engine
+// reads without Spec() referencing it is flagged; Spec-covered and
+// annotated fields are not.
+package specdrift
+
+import "fmt"
+
+type Config struct {
+	// Name is the pair identity, recorded separately in the artifact.
+	//torusmesh:nospec
+	Name string
+	// Budget and Anneal are search settings covered by Spec().
+	Budget int
+	Anneal bool
+	// Threads changes results but is missing from Spec() — the drift
+	// this analyzer exists to catch.
+	Threads int
+}
+
+func (cfg Config) Spec() string {
+	return fmt.Sprintf("budget=%d anneal=%t", cfg.Budget, cfg.Anneal)
+}
+
+func Search(cfg Config) int {
+	if cfg.Threads > 1 { // want "field Threads is read by the engine but never referenced by Spec"
+		return run(cfg.Budget, cfg.Name) * cfg.Threads
+	}
+	return run(cfg.Budget, cfg.Name)
+}
+
+func run(budget int, name string) int { return budget + len(name) }
